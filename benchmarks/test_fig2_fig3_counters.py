@@ -1,0 +1,27 @@
+"""Bench: paper Fig. 2 + Fig. 3 — HW counters vs introspection (§6.1)."""
+
+import numpy as np
+
+from benchmarks.conftest import once
+from repro.experiments import fig2_counters
+from repro.experiments.common import full_scale
+
+
+def test_fig2_fig3_hw_counters_vs_introspection(benchmark):
+    duration = 45.0 if full_scale() else 8.0
+    result = once(benchmark, fig2_counters.run, duration=duration)
+    print()
+    print(fig2_counters.report(result))
+
+    # Shape checks (the paper's claims): both monitors account for the
+    # same volume, with a barely-visible offset.
+    assert result.mon_window.sum() == result.total_sent
+    assert abs(int(result.hw_window.sum()) - result.total_sent) <= 4
+    # The cumulative curves track each other closely: the max gap is
+    # bounded by one in-flight message (800 KB).
+    assert result.max_cumulative_lag <= 800_000
+    # Time series are aligned sample-for-sample.
+    assert len(result.times) == len(result.hw_window) == len(result.mon_window)
+    corr = np.corrcoef(result.hw_cumulative, result.mon_cumulative)[0, 1]
+    print(f"cumulative-curve correlation: {corr:.6f}")
+    assert corr > 0.999

@@ -1,0 +1,23 @@
+"""Bench: paper Fig. 4 — monitoring overhead on MPI_Reduce (§6.2)."""
+
+from benchmarks.conftest import once
+from repro.experiments import fig4_overhead
+from repro.experiments.common import full_scale
+
+
+def test_fig4_monitoring_overhead(benchmark):
+    if full_scale():
+        node_counts, sizes, reps = (2, 4, 8), fig4_overhead.DEFAULT_SIZES, 180
+    else:
+        node_counts, sizes, reps = (2, 4), (1, 100, 10_000), 40
+    points = once(benchmark, fig4_overhead.run, node_counts=node_counts,
+                  sizes=sizes, reps=reps)
+    print()
+    print(fig4_overhead.report(points))
+
+    # The paper's claims: overhead mostly insignificant, always < 5 us.
+    worst = max(abs(p.mean_diff_us) for p in points)
+    assert worst < 5.0
+    insignificant = sum(1 for p in points if not p.significant)
+    print(f"{insignificant}/{len(points)} cells statistically indistinguishable "
+          "from zero")

@@ -1,0 +1,37 @@
+"""Bench: paper Fig. 5 — collective optimization via rank reordering (§6.3)."""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.experiments import fig5_collectives
+from repro.experiments.common import full_scale
+
+
+def _grid():
+    if full_scale():
+        return (2, 4, 8), fig5_collectives.FULL_SIZES
+    return (2, 4), (5_000_000, 20_000_000)
+
+
+@pytest.mark.parametrize("op", ["reduce", "bcast"])
+def test_fig5_collective_reordering(benchmark, op):
+    node_counts, sizes = _grid()
+    points = once(benchmark, fig5_collectives.run, op,
+                  node_counts=node_counts, sizes=sizes, reps=1)
+    print()
+    print(fig5_collectives.report(points))
+
+    # Shape: the reordered collective wins at every size and NP (the
+    # paper reports roughly 1.5-2x for reduce and up to ~3.4x for
+    # bcast at the largest scale).
+    for p in points:
+        assert p.t_reordered < p.t_baseline, p
+    largest = [p for p in points if p.np_ranks == 24 * node_counts[-1]]
+    assert max(p.speedup for p in largest) > 1.5
+    # Gains grow (or at least persist) with the node count, as in the
+    # paper's three panels.
+    by_np = {}
+    for p in points:
+        by_np.setdefault(p.np_ranks, []).append(p.speedup)
+    nps = sorted(by_np)
+    assert max(by_np[nps[-1]]) >= max(by_np[nps[0]]) * 0.9

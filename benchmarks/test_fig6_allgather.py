@@ -1,0 +1,43 @@
+"""Bench: paper Fig. 6 — reordering-gain heatmap for grouped allgathers
+(§6.4)."""
+
+from benchmarks.conftest import once
+from repro.experiments import fig6_allgather
+from repro.experiments.common import full_scale
+
+
+def test_fig6_reordering_gain_heatmap(benchmark):
+    if full_scale():
+        kwargs = dict(node_counts=(2, 4, 8),
+                      sizes=fig6_allgather.FULL_SIZES,
+                      iteration_counts=fig6_allgather.FULL_ITERS)
+    else:
+        kwargs = dict(node_counts=(2,),
+                      sizes=fig6_allgather.DEFAULT_SIZES,
+                      iteration_counts=fig6_allgather.DEFAULT_ITERS)
+    cells = once(benchmark, fig6_allgather.run, **kwargs)
+    print()
+    print(fig6_allgather.report(cells))
+
+    # The paper's red/green structure:
+    #  * few iterations or small buffers: reordering cost dominates;
+    #  * many iterations of large buffers: strongly positive gain.
+    worst = min(c.gain_percent for c in cells)
+    best = max(c.gain_percent for c in cells)
+    corner_bad = next(c for c in cells
+                      if c.iterations == min(x.iterations for x in cells)
+                      and c.n_ints == min(x.n_ints for x in cells))
+    corner_good = next(c for c in cells
+                       if c.iterations == max(x.iterations for x in cells)
+                       and c.n_ints == max(x.n_ints for x in cells))
+    assert corner_bad.gain_percent < 0
+    assert corner_good.gain_percent > 25
+    print(f"gain range: {worst:+.0f}% .. {best:+.0f}% "
+          "(paper: about -200% .. +95%)")
+
+    # Gain is monotone-ish in the iteration count for the largest buffer.
+    big = sorted((c for c in cells
+                  if c.n_ints == max(x.n_ints for x in cells)
+                  and c.np_ranks == cells[0].np_ranks),
+                 key=lambda c: c.iterations)
+    assert big[-1].gain_percent > big[0].gain_percent

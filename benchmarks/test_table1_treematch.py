@@ -1,0 +1,26 @@
+"""Bench: paper Table 1 — TreeMatch computation time at scale (§7)."""
+
+from benchmarks.conftest import once
+from repro.experiments import table1_treematch
+from repro.experiments.common import full_scale
+
+
+def test_table1_treematch_scaling(benchmark):
+    sizes = table1_treematch.FULL_SIZES if full_scale() \
+        else table1_treematch.DEFAULT_SIZES
+    timings = once(benchmark, table1_treematch.run, sizes=sizes)
+    print()
+    print(table1_treematch.report(timings))
+
+    # Shape: superlinear growth with the matrix order (the paper's
+    # column grows 2.6 -> 6.3 -> 20.9 -> 88.7 s, i.e. 2.4-4.2x per
+    # doubling).
+    for a, b in zip(timings, timings[1:]):
+        assert b.seconds > a.seconds
+        ratio = b.seconds / max(a.seconds, 1e-9)
+        assert ratio > 1.3, (a, b, ratio)
+
+    # Even the largest default case stays practical, as the paper
+    # argues ("even for such large input size the time to compute the
+    # reordering is less than 100 s").
+    assert timings[-1].seconds < 100.0

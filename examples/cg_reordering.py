@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""NAS CG with monitoring-driven rank reordering (paper §6.5).
+
+Reproduces the paper's CG experiment end to end at laptop scale: the
+*numeric* CG kernel (a real distributed sparse solve, validated against
+a sequential reference in the test suite) runs its NPB initialization
+iteration under a monitoring session; the measured point-to-point
+matrix drives TreeMatch; the timed iterations run on the reordered
+communicator.  Because logical roles are re-derived from the new ranks
+during setup, no data redistribution is needed — the paper's trick.
+
+The initial binding is *random* (one of the paper's three initial
+mappings).  Note that at this small scale (16 ranks, 2 nodes) CG's
+2-D pattern has a high unavoidable bisection cut, so gains are modest;
+the Fig. 7 benchmark reproduces the paper's 64-256-rank results.
+
+Run:  python examples/cg_reordering.py
+"""
+
+import numpy as np
+
+from repro.apps.cg import CGClass, CGConfig, cg_outer_iteration, cg_setup
+from repro.core import api as mapi
+from repro.core.constants import Flags, MPI_M_DATA_IGNORE
+from repro.core.errors import raise_for_code
+from repro.placement.reorder import reorder_from_matrix
+from repro.simmpi import Cluster, Engine
+
+# Numeric mode needs na divisible by nprows * npcols^2 (here 4 * 16).
+TINY = CGClass("demo", 15360, 7, 4, 10.0)
+N_RANKS = 16
+
+
+def program(comm, reorder):
+    cfg = CGConfig(TINY, mode="numeric", cgitmax=10)
+    state = cg_setup(comm, cfg)
+    run_comm = comm
+
+    if reorder:
+        raise_for_code(mapi.mpi_m_init())
+        err, msid = mapi.mpi_m_start(comm)
+        raise_for_code(err)
+        cg_outer_iteration(comm, state, 0)  # monitored init phase
+        raise_for_code(mapi.mpi_m_suspend(msid))
+        err, _, size_mat = mapi.mpi_m_rootgather_data(
+            msid, 0, MPI_M_DATA_IGNORE, None, Flags.P2P_ONLY)
+        raise_for_code(err)
+        raise_for_code(mapi.mpi_m_free(msid))
+        raise_for_code(mapi.mpi_m_finalize())
+        run_comm, _k = reorder_from_matrix(comm, size_mat)
+        state = cg_setup(run_comm, cfg)
+    else:
+        cg_outer_iteration(comm, state, 0)  # untimed init, as in NPB
+
+    run_comm.barrier()
+    t0, c0 = run_comm.time, state.comm_time
+    rnorm = 0.0
+    for it in range(1, TINY.niter + 1):
+        rnorm = cg_outer_iteration(run_comm, state, it)
+    run_comm.barrier()
+    return {
+        "time": run_comm.time - t0,
+        "comm": state.comm_time - c0,
+        "zeta": state.zeta,
+        "rnorm": rnorm,
+    }
+
+
+def main():
+    print(f"NAS-style CG, na={TINY.na}, {N_RANKS} ranks randomly bound "
+          "over 2 nodes (numeric mode)\n")
+    stats = {}
+    for reorder in (False, True):
+        cluster = Cluster.plafrim(2, n_ranks=N_RANKS, binding="random",
+                                  seed=3)
+        engine = Engine(cluster)
+        out = engine.run(program, args=(reorder,))
+        label = "reordered" if reorder else "baseline"
+        stats[label] = {
+            "time": max(s["time"] for s in out),
+            "comm": float(np.mean([s["comm"] for s in out])),
+            "zeta": out[0]["zeta"],
+            "rnorm": out[0]["rnorm"],
+        }
+        s = stats[label]
+        print(f"  {label:<10} total {s['time']*1e3:8.2f} ms   "
+              f"mean comm {s['comm']*1e3:8.2f} ms   "
+              f"zeta {s['zeta']:.10f}   residual {s['rnorm']:.2e}")
+
+    b, r = stats["baseline"], stats["reordered"]
+    print()
+    print(f"  execution-time ratio    : {b['time'] / r['time']:.3f}")
+    print(f"  communication-time ratio: {b['comm'] / r['comm']:.3f}")
+    print()
+    assert abs(b["zeta"] - r["zeta"]) < 1e-9, "reordering must not change math"
+    assert b["time"] > r["time"], "reordering should win from a random binding"
+    print("zeta identical before/after reordering — the permutation only "
+          "moves ranks,\nnever data semantics.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Collective anatomy — compare how algorithms decompose into messages.
+
+The monitoring component sees collectives *after* decomposition (the
+capability PMPI/Score-P-style tools lack, paper §2).  This example uses
+one monitoring session per collective call — the paper's §4.5 recipe
+for telling calls apart — to print, for several algorithms of the same
+collective, the communication matrix and where its bytes land in the
+machine (intra-socket / intra-node / inter-node).
+
+Run:  python examples/collective_anatomy.py
+"""
+
+import numpy as np
+
+from repro.core import Flags, MonitoringSession, monitoring
+from repro.placement.metrics import level_bytes
+from repro.simmpi import Cluster, Engine
+
+
+CASES = [
+    ("bcast", "binomial"),
+    ("bcast", "chain"),
+    ("bcast", "flat"),
+    ("reduce", "binary"),
+    ("reduce", "binomial"),
+    ("allgather", "ring"),
+    ("allgather", "gather_bcast"),
+    ("barrier", "dissemination"),
+]
+
+N_INTS = 25_000  # 100 KB buffers
+
+
+def run_case(comm, op, algorithm):
+    from repro.simmpi.op import MAX
+
+    nbytes = 4 * N_INTS
+    with MonitoringSession(comm) as mon:
+        if op == "bcast":
+            comm.bcast(None, root=0,
+                       nbytes=nbytes if comm.rank == 0 else None,
+                       algorithm=algorithm)
+        elif op == "reduce":
+            comm.reduce(None, MAX, root=0, nbytes=nbytes,
+                        algorithm=algorithm)
+        elif op == "allgather":
+            comm.allgather(None, nbytes=nbytes, algorithm=algorithm)
+        elif op == "barrier":
+            comm.barrier(algorithm=algorithm)
+    counts, sizes = mon.allgather(Flags.COLL_ONLY)
+    mon.free()
+    return counts, sizes
+
+
+def program(comm):
+    out = []
+    with monitoring():
+        for op, algorithm in CASES:
+            out.append(run_case(comm, op, algorithm))
+    return out
+
+
+def main():
+    cluster = Cluster.plafrim(2, binding="rr")  # 48 ranks, paper setup
+    engine = Engine(cluster)
+    results = engine.run(program)
+    topo = cluster.topology
+    pus = cluster.binding
+
+    print(f"Decomposition of collectives on {cluster.n_ranks} round-robin-"
+          f"bound ranks over {cluster.n_nodes} nodes")
+    print()
+    header = (f"{'collective':<28} {'msgs':>6} {'bytes':>12} "
+              f"{'inter-node':>11} {'intra-node':>11} {'intra-socket':>13}")
+    print(header)
+    print("-" * len(header))
+    for (op, algorithm), (counts, sizes) in zip(CASES, results[0]):
+        lb = level_bytes(sizes.astype(float), topo, pus)
+        name = f"{op} ({algorithm})"
+        print(f"{name:<28} {int(counts.sum()):>6} {int(sizes.sum()):>12,} "
+              f"{int(lb['cluster']):>11,} {int(lb.get('node', 0)):>11,} "
+              f"{int(lb.get('socket', 0)):>13,}")
+    print()
+    print("Note how the round-robin binding pushes almost every tree edge "
+          "across nodes —\nexactly what the paper's rank reordering fixes "
+          "(see examples/reorder_stencil.py).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Dynamic rank reordering (paper Fig. 1) on a halo-exchange stencil.
+
+An iterative 2-D Jacobi stencil runs on ranks bound *round-robin*
+across nodes — the worst case for a neighbour-heavy pattern, since
+every halo crosses the network.  The paper's algorithm fixes it at
+runtime:
+
+1. monitor the first iteration with the introspection library,
+2. gather the byte matrix at rank 0 (``MPI_M_rootgather_data``),
+3. compute an optimized permutation with TreeMatch,
+4. ``MPI_Comm_split(comm, 0, k[rank])`` → the optimized communicator,
+5. run the remaining iterations on it.
+
+Run:  python examples/reorder_stencil.py
+"""
+
+import numpy as np
+
+from repro.apps.stencil import StencilConfig, stencil_iteration, stencil_setup
+from repro.placement.reorder import reorder_iterative
+from repro.simmpi import Cluster, Engine
+
+ITERATIONS = 50
+TILE = 4096
+
+
+def program(comm):
+    # High compute_rate: halo exchange dominates, as in a
+    # communication-bound weak-scaled stencil.
+    cfg = StencilConfig(tile=TILE, numeric=False, compute_rate=2e12)
+    states = {}
+
+    def iteration(it, c):
+        # Logical grid roles follow the communicator's ranks: a state
+        # per communicator, as the paper's CG experiment does.
+        if c.id not in states:
+            states[c.id] = stencil_setup(c, cfg)
+        stencil_iteration(c, states[c.id], it)
+
+    # Baseline: time a few iterations without reordering.
+    comm.barrier()
+    t0 = comm.time
+    for it in range(5):
+        iteration(it, comm)
+    comm.barrier()
+    baseline_per_iter = (comm.time - t0) / 5
+
+    # Fig. 1: monitor iteration 1, reorder, run the rest.
+    t1 = comm.time
+    opt_comm, k = reorder_iterative(comm, iteration, max_it=ITERATIONS)
+    opt_comm.barrier()
+    reordered_total = comm.time - t1
+
+    # Time the steady state after reordering.
+    t2 = comm.time
+    for it in range(5):
+        iteration(1000 + it, opt_comm)
+    opt_comm.barrier()
+    reordered_per_iter = (comm.time - t2) / 5
+
+    return (baseline_per_iter, reordered_per_iter, reordered_total,
+            k[comm.rank])
+
+
+def main():
+    cluster = Cluster.plafrim(2, binding="rr")
+    engine = Engine(cluster)
+    results = engine.run(program)
+    base, reord, total, _ = results[0]
+    k_head = [r[3] for r in results[:8]]
+
+    print(f"2-D stencil, {cluster.n_ranks} ranks round-robin over "
+          f"{cluster.n_nodes} nodes, {TILE}x{TILE} tiles")
+    print()
+    print(f"  per-iteration time, initial mapping : {base * 1e6:9.1f} us")
+    print(f"  per-iteration time, after reordering: {reord * 1e6:9.1f} us")
+    print(f"  speedup                             : {base / reord:9.2f}x")
+    print(f"  whole reordered run ({ITERATIONS} iters)        : "
+          f"{total * 1e3:9.2f} ms")
+    print(f"  k[0:8] = {k_head}  (new rank of each original rank)")
+    print()
+    print("The permutation interleaves the round-robin damage away: grid")
+    print("neighbours end up on the same node, so halos ride shared memory")
+    print("instead of the NIC.  (The residual time is the per-node memory-")
+    print("bandwidth floor of the calibrated machine model.)")
+    assert reord < base
+
+
+if __name__ == "__main__":
+    main()

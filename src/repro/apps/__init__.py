@@ -1,0 +1,27 @@
+"""``repro.apps`` — workloads: NAS CG, a halo stencil, micro-benchmarks."""
+
+from repro.apps.cg import (  # noqa: F401
+    CG_CLASSES,
+    CGClass,
+    CGConfig,
+    CGState,
+    cg_outer_iteration,
+    cg_setup,
+    grid_shape,
+    make_spd_matrix,
+    run_cg,
+    sequential_cg,
+)
+from repro.apps.microbench import (  # noqa: F401
+    GroupBenchResult,
+    collective_kernel,
+    grouped_allgather_benchmark,
+)
+from repro.apps.stencil import (  # noqa: F401
+    StencilConfig,
+    StencilState,
+    process_grid,
+    run_stencil,
+    stencil_iteration,
+    stencil_setup,
+)

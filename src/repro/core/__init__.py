@@ -1,0 +1,65 @@
+"""``repro.core`` — the MPI_Monitoring introspection library.
+
+This is the paper's contribution: a high-level, session-based
+monitoring API built strictly on top of the low-level MPI_T monitoring
+component (see :mod:`repro.simmpi.pml_monitoring`).  Two front-ends are
+provided:
+
+* the **procedural API** (:mod:`repro.core.api`): C-style functions
+  returning :class:`ErrorCode`, with the paper's sentinel values
+  (``MPI_M_ALL_MSID``, ``MPI_M_DATA_IGNORE``, ``MPI_M_INT_IGNORE``) —
+  this doubles as the Fortran-binding equivalent;
+* the **Pythonic API** (:mod:`repro.core.pythonic`): exceptions and
+  context managers.
+"""
+
+from repro.core.api import (  # noqa: F401
+    mpi_m_allgather_data,
+    mpi_m_continue,
+    mpi_m_finalize,
+    mpi_m_flush,
+    mpi_m_free,
+    mpi_m_get_data,
+    mpi_m_get_info,
+    mpi_m_init,
+    mpi_m_reset,
+    mpi_m_rootflush,
+    mpi_m_rootgather_data,
+    mpi_m_start,
+    mpi_m_suspend,
+)
+from repro.core.constants import (  # noqa: F401
+    MAX_SESSIONS,
+    MPI_M_ALL_COMM,
+    MPI_M_ALL_MSID,
+    MPI_M_COLL_ONLY,
+    MPI_M_DATA_IGNORE,
+    MPI_M_INT_IGNORE,
+    MPI_M_OSC_ONLY,
+    MPI_M_P2P_ONLY,
+    MPI_SUCCESS,
+    ErrorCode,
+    Flags,
+)
+from repro.core.errors import (  # noqa: F401
+    InternalFail,
+    InvalidMsid,
+    InvalidRoot,
+    MissingInit,
+    MonitoringError,
+    MpitFail,
+    MultipleCall,
+    SessionNotSuspended,
+    SessionOverflow,
+    SessionStillActive,
+    raise_for_code,
+)
+from repro.core.flushio import read_profile  # noqa: F401
+from repro.core.pythonic import MonitoringSession, monitoring  # noqa: F401
+from repro.core.session import MonitoringRuntime, Msid, Session  # noqa: F401
+from repro.core.timeline import (  # noqa: F401
+    TimelineSampler,
+    predict_next_window,
+    underutilized_windows,
+)
+from repro.core.viz import render_heatmap, render_matrix, traffic_summary  # noqa: F401

@@ -1,0 +1,110 @@
+"""Constants of the MPI_Monitoring library (paper §4.3).
+
+Flags select which traffic categories a data accessor returns; they are
+bitwise-combinable, exactly as in the C API.  The special values
+``MPI_M_ALL_MSID``, ``MPI_M_DATA_IGNORE`` and ``MPI_M_INT_IGNORE``
+reproduce the C interface's sentinel arguments.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = [
+    "Flags",
+    "MPI_M_P2P_ONLY",
+    "MPI_M_COLL_ONLY",
+    "MPI_M_OSC_ONLY",
+    "MPI_M_ALL_COMM",
+    "ErrorCode",
+    "MPI_SUCCESS",
+    "MPI_M_ALL_MSID",
+    "MPI_M_DATA_IGNORE",
+    "MPI_M_INT_IGNORE",
+    "MAX_SESSIONS",
+    "THREAD_LEVEL_PROVIDED",
+    "flags_to_categories",
+    "format_flags",
+]
+
+
+class Flags(enum.IntFlag):
+    """Traffic-category selection flags (bitwise-combinable)."""
+
+    P2P_ONLY = 1  #: user-issued point-to-point messages only
+    COLL_ONLY = 2  #: messages from decomposed collectives only
+    OSC_ONLY = 4  #: one-sided communication only
+    ALL_COMM = 7  #: everything
+
+
+MPI_M_P2P_ONLY = Flags.P2P_ONLY
+MPI_M_COLL_ONLY = Flags.COLL_ONLY
+MPI_M_OSC_ONLY = Flags.OSC_ONLY
+MPI_M_ALL_COMM = Flags.ALL_COMM
+
+_FLAG_CATEGORY = {
+    Flags.P2P_ONLY: "p2p",
+    Flags.COLL_ONLY: "coll",
+    Flags.OSC_ONLY: "osc",
+}
+
+
+def flags_to_categories(flags: int):
+    """The monitoring categories a flag combination selects."""
+    flags = Flags(int(flags))
+    if not flags & Flags.ALL_COMM:
+        raise ValueError(f"flags select no category: {flags!r}")
+    return tuple(cat for f, cat in _FLAG_CATEGORY.items() if flags & f)
+
+
+def format_flags(flags: int) -> str:
+    flags = Flags(int(flags))
+    if flags == Flags.ALL_COMM:
+        return "ALL_COMM"
+    parts = [f.name for f in (Flags.P2P_ONLY, Flags.COLL_ONLY, Flags.OSC_ONLY) if flags & f]
+    return "|".join(parts) if parts else "NONE"
+
+
+class ErrorCode(enum.IntEnum):
+    """Return codes of the procedural API (paper §4.3 error table)."""
+
+    MPI_SUCCESS = 0
+    MPI_M_INTERNAL_FAIL = 1  #: an internal error occurred (allocation, syscall)
+    MPI_M_MPIT_FAIL = 2  #: an MPI or MPI_T function failed
+    MPI_M_MISSING_INIT = 3  #: no call to MPI_M_init has been done
+    MPI_M_SESSION_STILL_ACTIVE = 4  #: at least one session not suspended
+    MPI_M_SESSION_NOT_SUSPENDED = 5  #: the session has not been suspended
+    MPI_M_INVALID_MSID = 6  #: msid invalid / NULL / forbidden ALL_MSID
+    MPI_M_SESSION_OVERFLOW = 7  #: maximum number of sessions reached
+    MPI_M_MULTIPLE_CALL = 8  #: init/continue (resp. suspend) called twice
+    MPI_M_INVALID_ROOT = 9  #: the root parameter is invalid
+
+
+MPI_SUCCESS = ErrorCode.MPI_SUCCESS
+
+
+class _Sentinel:
+    """A named, unique sentinel (identity-compared)."""
+
+    __slots__ = ("_name",)
+
+    def __init__(self, name: str):
+        self._name = name
+
+    def __repr__(self) -> str:
+        return self._name
+
+
+#: Act on every active-or-suspended session at once.
+MPI_M_ALL_MSID = _Sentinel("MPI_M_ALL_MSID")
+#: Discard an (unsigned long *) output parameter.
+MPI_M_DATA_IGNORE = _Sentinel("MPI_M_DATA_IGNORE")
+#: Discard an (int *) output parameter.
+MPI_M_INT_IGNORE = _Sentinel("MPI_M_INT_IGNORE")
+
+#: Sessions a process may hold simultaneously before SESSION_OVERFLOW.
+MAX_SESSIONS = 128
+
+#: The thread-support level MPI_M_get_info reports (MPI_THREAD_MULTIPLE:
+#: the paper states all functions are thread-safe).
+THREAD_LEVEL_PROVIDED = 3

@@ -1,0 +1,131 @@
+"""Flush-file formats of MPI_M_flush / MPI_M_rootflush, plus a parser.
+
+``MPI_M_flush`` makes each process write ``<base>.<rank>.prof`` (rank in
+the session's communicator) with its per-peer counts and sizes.
+``MPI_M_rootflush`` makes the root process write two files —
+``<base>_counts.<rank>.prof`` and ``<base>_sizes.<rank>.prof``, where
+``<rank>`` is the root's rank in MPI_COMM_WORLD (as the paper's API
+table specifies) — each holding the full communicator-wide matrix.
+
+Files are plain text: ``#``-prefixed header lines with ``key=value``
+metadata, then whitespace-separated numeric rows, so they load with
+``numpy.loadtxt`` as well as with :func:`read_profile`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.core.constants import format_flags
+
+__all__ = [
+    "local_profile_path",
+    "root_profile_paths",
+    "write_local_profile",
+    "write_root_profiles",
+    "read_profile",
+]
+
+
+def local_profile_path(base: str, rank: int) -> str:
+    return f"{base}.{rank}.prof"
+
+
+def root_profile_paths(base: str, world_rank: int):
+    return (
+        f"{base}_counts.{world_rank}.prof",
+        f"{base}_sizes.{world_rank}.prof",
+    )
+
+
+def _check_dir(path: str) -> None:
+    d = os.path.dirname(os.path.abspath(path))
+    if not os.path.isdir(d):
+        raise FileNotFoundError(f"directory does not exist: {d} (path has to exist)")
+
+
+def _header(kind: str, meta: Dict[str, Any]) -> str:
+    pairs = " ".join(f"{k}={v}" for k, v in meta.items())
+    return f"# MPI_Monitoring profile\n# kind={kind} {pairs}\n"
+
+
+def write_local_profile(
+    base: str,
+    rank: int,
+    counts: np.ndarray,
+    sizes: np.ndarray,
+    flags: int,
+) -> str:
+    """One process's rows: ``src dst count bytes`` per peer."""
+    path = local_profile_path(base, rank)
+    _check_dir(path)
+    n = len(counts)
+    with open(path, "w", encoding="ascii") as fh:
+        fh.write(
+            _header(
+                "local",
+                {"rank": rank, "comm_size": n, "flags": format_flags(flags)},
+            )
+        )
+        fh.write("# columns: src dst count bytes\n")
+        for dst in range(n):
+            fh.write(f"{rank} {dst} {int(counts[dst])} {int(sizes[dst])}\n")
+    return path
+
+
+def write_root_profiles(
+    base: str,
+    world_rank: int,
+    counts_matrix: np.ndarray,
+    sizes_matrix: np.ndarray,
+    flags: int,
+):
+    """The root's two matrix files (counts and sizes)."""
+    cpath, spath = root_profile_paths(base, world_rank)
+    _check_dir(cpath)
+    n = counts_matrix.shape[0]
+    meta = {"comm_size": n, "flags": format_flags(flags)}
+    for path, kind, mat in (
+        (cpath, "root-counts", counts_matrix),
+        (spath, "root-sizes", sizes_matrix),
+    ):
+        with open(path, "w", encoding="ascii") as fh:
+            fh.write(_header(kind, meta))
+            for row in np.asarray(mat).reshape(n, n):
+                fh.write(" ".join(str(int(v)) for v in row) + "\n")
+    return cpath, spath
+
+
+def read_profile(path: str) -> Dict[str, Any]:
+    """Load a flush file.
+
+    Returns ``{"kind": ..., "meta": {...}, "data": ndarray}`` where
+    ``data`` is an ``(n, 4)`` src/dst/count/bytes table for local
+    profiles and an ``(n, n)`` matrix for root profiles.
+    """
+    meta: Dict[str, Any] = {}
+    kind = None
+    rows = []
+    with open(path, "r", encoding="ascii") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                for token in line[1:].split():
+                    if "=" in token:
+                        k, v = token.split("=", 1)
+                        meta[k] = v
+                kind = meta.get("kind", kind)
+                continue
+            rows.append([int(tok) for tok in line.split()])
+    if kind is None:
+        raise ValueError(f"{path} is not an MPI_Monitoring profile")
+    data = np.array(rows, dtype=np.uint64)
+    for key in ("rank", "comm_size"):
+        if key in meta:
+            meta[key] = int(meta[key])
+    return {"kind": kind, "meta": meta, "data": data}

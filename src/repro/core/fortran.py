@@ -1,0 +1,171 @@
+"""Fortran-style binding of the monitoring library (paper §4.3).
+
+The paper: "The MPI_Monitoring Library comes with an interface that
+allows its usage within a Fortran code.  The datatype MPI_M_msid is
+replaced by the type integer, and each function possesses an additional
+parameter which is used to transmit the return value."
+
+This module reproduces that calling convention:
+
+* session identifiers are plain ``int`` handles (per process);
+* every procedure takes a mutable ``ierr`` out-parameter (a one-element
+  list, standing in for Fortran's INTEGER intent(out)) and returns
+  ``None``;
+* output values are likewise written into caller-supplied one-element
+  lists / arrays.
+
+Example (compare the paper's Listing 1)::
+
+    ierr = [0]
+    msid = [0]
+    mpi_m_init_f(ierr)
+    mpi_m_start_f(comm, msid, ierr)
+    ...
+    mpi_m_suspend_f(msid[0], ierr)
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core import api as capi
+from repro.core.constants import MPI_M_ALL_MSID, ErrorCode, Flags
+from repro.core.session import Msid
+from repro.simmpi.engine import current_process
+
+__all__ = [
+    "MPI_M_ALL_MSID_F",
+    "mpi_m_init_f",
+    "mpi_m_finalize_f",
+    "mpi_m_start_f",
+    "mpi_m_suspend_f",
+    "mpi_m_continue_f",
+    "mpi_m_reset_f",
+    "mpi_m_free_f",
+    "mpi_m_get_info_f",
+    "mpi_m_get_data_f",
+    "mpi_m_allgather_data_f",
+    "mpi_m_rootgather_data_f",
+    "mpi_m_flush_f",
+    "mpi_m_rootflush_f",
+]
+
+#: The Fortran value of MPI_M_ALL_MSID (an integer no real handle uses).
+MPI_M_ALL_MSID_F = -1
+
+_HANDLES_KEY = "mpi_m_fortran_handles"
+
+
+def _table() -> dict:
+    proc = current_process()
+    return proc.userdata.setdefault(_HANDLES_KEY, {})
+
+
+def _to_handle(msid: Msid) -> int:
+    table = _table()
+    handle = msid.value
+    table[handle] = msid
+    return handle
+
+
+def _from_handle(handle: int):
+    if handle == MPI_M_ALL_MSID_F:
+        return MPI_M_ALL_MSID
+    return _table().get(int(handle), handle)
+
+
+def _set(ierr: List[int], code) -> None:
+    if not isinstance(ierr, list) or len(ierr) != 1:
+        raise TypeError("ierr must be a one-element list (INTEGER intent(out))")
+    ierr[0] = int(code)
+
+
+def mpi_m_init_f(ierr: List[int]) -> None:
+    """CALL MPI_M_init(retval)"""
+    _set(ierr, capi.mpi_m_init())
+
+
+def mpi_m_finalize_f(ierr: List[int]) -> None:
+    """CALL MPI_M_finalize(retval)"""
+    _set(ierr, capi.mpi_m_finalize())
+
+
+def mpi_m_start_f(comm, msid: List[int], ierr: List[int]) -> None:
+    """CALL MPI_M_start(comm, msid, retval)"""
+    if not isinstance(msid, list) or len(msid) != 1:
+        raise TypeError("msid must be a one-element list (INTEGER intent(out))")
+    code, handle = capi.mpi_m_start(comm)
+    if code == ErrorCode.MPI_SUCCESS:
+        msid[0] = _to_handle(handle)
+    _set(ierr, code)
+
+
+def mpi_m_suspend_f(msid: int, ierr: List[int]) -> None:
+    """CALL MPI_M_suspend(msid, retval)"""
+    _set(ierr, capi.mpi_m_suspend(_from_handle(msid)))
+
+
+def mpi_m_continue_f(msid: int, ierr: List[int]) -> None:
+    """CALL MPI_M_continue(msid, retval)"""
+    _set(ierr, capi.mpi_m_continue(_from_handle(msid)))
+
+
+def mpi_m_reset_f(msid: int, ierr: List[int]) -> None:
+    """CALL MPI_M_reset(msid, retval)"""
+    _set(ierr, capi.mpi_m_reset(_from_handle(msid)))
+
+
+def mpi_m_free_f(msid: int, ierr: List[int]) -> None:
+    """CALL MPI_M_free(msid, retval)"""
+    _set(ierr, capi.mpi_m_free(_from_handle(msid)))
+
+
+def mpi_m_get_info_f(msid: int, provided: List[int], array_size: List[int],
+                     ierr: List[int]) -> None:
+    """CALL MPI_M_get_info(msid, provided, array_size, retval)"""
+    code, p, n = capi.mpi_m_get_info(_from_handle(msid))
+    if code == ErrorCode.MPI_SUCCESS:
+        provided[0] = p
+        array_size[0] = n
+    _set(ierr, code)
+
+
+def mpi_m_get_data_f(msid: int, msg_counts, msg_sizes, flags: int,
+                     ierr: List[int]) -> None:
+    """CALL MPI_M_get_data(msid, msg_counts, msg_sizes, flags, retval)
+
+    ``msg_counts``/``msg_sizes`` are caller-allocated NumPy arrays
+    (filled in place), exactly like Fortran INTEGER(KIND=8) arrays.
+    """
+    code, _, _ = capi.mpi_m_get_data(_from_handle(msid), msg_counts,
+                                     msg_sizes, Flags(flags))
+    _set(ierr, code)
+
+
+def mpi_m_allgather_data_f(msid: int, matrix_counts, matrix_sizes, flags: int,
+                           ierr: List[int]) -> None:
+    """CALL MPI_M_allgather_data(msid, counts, sizes, flags, retval)"""
+    code, _, _ = capi.mpi_m_allgather_data(_from_handle(msid), matrix_counts,
+                                           matrix_sizes, Flags(flags))
+    _set(ierr, code)
+
+
+def mpi_m_rootgather_data_f(msid: int, root: int, matrix_counts, matrix_sizes,
+                            flags: int, ierr: List[int]) -> None:
+    """CALL MPI_M_rootgather_data(msid, root, counts, sizes, flags, retval)"""
+    code, _, _ = capi.mpi_m_rootgather_data(_from_handle(msid), root,
+                                            matrix_counts, matrix_sizes,
+                                            Flags(flags))
+    _set(ierr, code)
+
+
+def mpi_m_flush_f(msid: int, filename: str, flags: int, ierr: List[int]) -> None:
+    """CALL MPI_M_flush(msid, filename, flags, retval)"""
+    _set(ierr, capi.mpi_m_flush(_from_handle(msid), filename, Flags(flags)))
+
+
+def mpi_m_rootflush_f(msid: int, root: int, filename: str, flags: int,
+                      ierr: List[int]) -> None:
+    """CALL MPI_M_rootflush(msid, root, filename, flags, retval)"""
+    _set(ierr, capi.mpi_m_rootflush(_from_handle(msid), root, filename,
+                                    Flags(flags)))

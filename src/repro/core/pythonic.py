@@ -1,0 +1,142 @@
+"""Idiomatic Python front-end to the monitoring library.
+
+Wraps the procedural API with exceptions and context managers::
+
+    from repro.core import monitoring, MonitoringSession
+
+    def program(comm):
+        with monitoring():                       # MPI_M_init/finalize
+            with MonitoringSession(comm) as mon:  # start ... suspend
+                comm.bcast(data, root=0)
+            counts, sizes = mon.get_data(Flags.COLL_ONLY)
+
+A :class:`MonitoringSession` may be paused and resumed inside the
+``with`` block, matching MPI_M_suspend/MPI_M_continue; data accessors
+are valid only once the session is suspended (i.e. while paused or
+after the block exits).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core import api
+from repro.core.constants import Flags, MPI_M_DATA_IGNORE
+from repro.core.errors import raise_for_code
+
+__all__ = ["monitoring", "MonitoringSession"]
+
+
+class monitoring:
+    """Context manager for the library environment (init/finalize)."""
+
+    def __enter__(self) -> "monitoring":
+        raise_for_code(api.mpi_m_init())
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Propagate the user's exception in preference to finalize errors.
+        code = api.mpi_m_finalize()
+        if exc_type is None:
+            raise_for_code(code)
+
+
+class MonitoringSession:
+    """One monitoring session as a context manager.
+
+    Entering starts the session; exiting suspends it (the paper's
+    "unique initial start ... must match a final suspend").  The
+    session is *not* freed on exit so the data stays readable; call
+    :meth:`free` (or use :meth:`freed`) when done.
+    """
+
+    def __init__(self, comm):
+        self.comm = comm
+        self.msid = None
+        self._entered = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def __enter__(self) -> "MonitoringSession":
+        if self._entered:
+            raise RuntimeError("MonitoringSession is not re-entrant")
+        err, msid = api.mpi_m_start(self.comm)
+        raise_for_code(err)
+        self.msid = msid
+        self._entered = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        code = api.mpi_m_suspend(self.msid)
+        if exc_type is None:
+            raise_for_code(code)
+
+    def pause(self) -> None:
+        """MPI_M_suspend: stop recording; data becomes readable."""
+        raise_for_code(api.mpi_m_suspend(self.msid))
+
+    def resume(self) -> None:
+        """MPI_M_continue: resume recording."""
+        raise_for_code(api.mpi_m_continue(self.msid))
+
+    def reset(self) -> None:
+        """MPI_M_reset: zero the recorded data (while paused)."""
+        raise_for_code(api.mpi_m_reset(self.msid))
+
+    def free(self) -> None:
+        """MPI_M_free: release the session (data no longer readable)."""
+        raise_for_code(api.mpi_m_free(self.msid))
+
+    # -- data access -----------------------------------------------------------
+
+    @property
+    def array_size(self) -> int:
+        err, _, n = api.mpi_m_get_info(self.msid)
+        raise_for_code(err)
+        return n
+
+    def get_data(self, flags: Flags = Flags.ALL_COMM) -> Tuple[np.ndarray, np.ndarray]:
+        """This rank's per-peer ``(counts, sizes)`` arrays."""
+        err, counts, sizes = api.mpi_m_get_data(self.msid, flags=flags)
+        raise_for_code(err)
+        return counts, sizes
+
+    def counts(self, flags: Flags = Flags.ALL_COMM) -> np.ndarray:
+        err, counts, _ = api.mpi_m_get_data(
+            self.msid, msg_sizes=MPI_M_DATA_IGNORE, flags=flags
+        )
+        raise_for_code(err)
+        return counts
+
+    def sizes(self, flags: Flags = Flags.ALL_COMM) -> np.ndarray:
+        err, _, sizes = api.mpi_m_get_data(
+            self.msid, msg_counts=MPI_M_DATA_IGNORE, flags=flags
+        )
+        raise_for_code(err)
+        return sizes
+
+    def allgather(self, flags: Flags = Flags.ALL_COMM) -> Tuple[np.ndarray, np.ndarray]:
+        """Full (counts, sizes) matrices on every rank, shape (n, n)."""
+        err, cmat, smat = api.mpi_m_allgather_data(self.msid, flags=flags)
+        raise_for_code(err)
+        n = self.comm.size
+        return cmat.reshape(n, n), smat.reshape(n, n)
+
+    def gather(
+        self, root: int = 0, flags: Flags = Flags.ALL_COMM
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Matrices at ``root`` (``None`` elsewhere)."""
+        err, cmat, smat = api.mpi_m_rootgather_data(self.msid, root, flags=flags)
+        raise_for_code(err)
+        if cmat is None:
+            return None
+        n = self.comm.size
+        return cmat.reshape(n, n), smat.reshape(n, n)
+
+    def flush(self, filename: str, flags: Flags = Flags.ALL_COMM) -> None:
+        raise_for_code(api.mpi_m_flush(self.msid, filename, flags=flags))
+
+    def rootflush(self, root: int, filename: str, flags: Flags = Flags.ALL_COMM) -> None:
+        raise_for_code(api.mpi_m_rootflush(self.msid, root, filename, flags=flags))

@@ -1,0 +1,104 @@
+"""Network-usage timelines from periodic session sampling.
+
+The paper's discussion (§7) points to a follow-up use of introspection
+monitoring: *detecting and predicting network usage* to schedule
+background traffic (checkpoint fetches) into under-utilized windows
+(Tseng et al., Euro-Par 2019, the paper's [18]).  This module provides
+that capability on top of sessions:
+
+* :class:`TimelineSampler` — the §6.1 sampling pattern productized:
+  suspend → read → reset → continue on a fixed virtual-time period,
+  yielding a per-window byte series;
+* :func:`predict_next_window` — the simple sliding-window predictors
+  such systems use (last value / moving average / linear trend);
+* :func:`underutilized_windows` — find the quiet windows below a
+  threshold, i.e. when to fetch the checkpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core import api as mapi
+from repro.core.constants import Flags, MPI_M_DATA_IGNORE
+from repro.core.errors import raise_for_code
+
+__all__ = ["TimelineSampler", "predict_next_window", "underutilized_windows"]
+
+
+@dataclass
+class TimelineSampler:
+    """Periodic sampler over one monitoring session.
+
+    Create it *inside* a rank program after ``mpi_m_init``; call
+    :meth:`sample` whenever a period boundary passes (the caller
+    controls virtual time, e.g. by chunking its sleeps as in the §6.1
+    experiment).  ``series()`` returns (window end time, bytes sent in
+    window) pairs for this rank.
+    """
+
+    comm: object
+    flags: Flags = Flags.ALL_COMM
+    times: List[float] = field(default_factory=list)
+    volumes: List[int] = field(default_factory=list)
+    _msid: object = None
+
+    def __post_init__(self):
+        err, msid = mapi.mpi_m_start(self.comm)
+        raise_for_code(err)
+        self._msid = msid
+
+    def sample(self) -> int:
+        """Close the current window; returns its byte volume."""
+        raise_for_code(mapi.mpi_m_suspend(self._msid))
+        err, _, sizes = mapi.mpi_m_get_data(
+            self._msid, MPI_M_DATA_IGNORE, None, self.flags
+        )
+        raise_for_code(err)
+        raise_for_code(mapi.mpi_m_reset(self._msid))
+        raise_for_code(mapi.mpi_m_continue(self._msid))
+        vol = int(sizes.sum())
+        self.times.append(self.comm.time)
+        self.volumes.append(vol)
+        return vol
+
+    def close(self) -> None:
+        raise_for_code(mapi.mpi_m_suspend(self._msid))
+        raise_for_code(mapi.mpi_m_free(self._msid))
+
+    def series(self) -> Tuple[np.ndarray, np.ndarray]:
+        return np.asarray(self.times), np.asarray(self.volumes, dtype=np.int64)
+
+
+def predict_next_window(volumes, method: str = "moving_average",
+                        window: int = 5) -> float:
+    """Predict the next window's byte volume from the history."""
+    v = np.asarray(volumes, dtype=np.float64)
+    if v.size == 0:
+        return 0.0
+    if method == "last":
+        return float(v[-1])
+    if method == "moving_average":
+        return float(v[-window:].mean())
+    if method == "linear":
+        tail = v[-window:]
+        if tail.size < 2:
+            return float(tail[-1])
+        x = np.arange(tail.size, dtype=np.float64)
+        slope, intercept = np.polyfit(x, tail, 1)
+        return float(max(0.0, slope * tail.size + intercept))
+    raise ValueError(f"unknown prediction method {method!r}")
+
+
+def underutilized_windows(volumes, threshold_fraction: float = 0.25
+                          ) -> List[int]:
+    """Indices of windows whose volume is below ``threshold_fraction``
+    of the peak — candidate slots for background transfers."""
+    v = np.asarray(volumes, dtype=np.float64)
+    if v.size == 0 or v.max() <= 0:
+        return list(range(v.size))
+    cutoff = threshold_fraction * v.max()
+    return [int(i) for i in np.flatnonzero(v <= cutoff)]

@@ -1,0 +1,80 @@
+"""Text rendering of communication matrices.
+
+The paper's workflow ends with a human looking at a communication
+matrix (or feeding it to TreeMatch); this module provides terminal
+renderings: a sparse dot-matrix for counts and a log-scaled shade map
+for byte volumes, plus a per-topology-level traffic summary.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["render_matrix", "render_heatmap", "traffic_summary"]
+
+_SHADES = " .:-=+*#%@"
+
+
+def render_matrix(matrix, max_size: int = 64) -> str:
+    """Dot-matrix view: '.' for zero entries, counts (mod 10 shown as
+    digits, '+' beyond 9) elsewhere.  Rows are senders."""
+    m = np.asarray(matrix)
+    n = m.shape[0]
+    if n > max_size:
+        return f"<{n}x{n} matrix; raise max_size to render>"
+    lines = ["    " + " ".join(f"{j:2d}" for j in range(n))]
+    for i in range(n):
+        cells = []
+        for j in range(n):
+            v = int(m[i, j])
+            if v == 0:
+                cells.append(" .")
+            elif v <= 9:
+                cells.append(f" {v}")
+            else:
+                cells.append(" +")
+        lines.append(f"{i:3d} " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def render_heatmap(matrix, max_size: int = 64) -> str:
+    """Log-scaled shade map of byte volumes (darker = more bytes)."""
+    m = np.asarray(matrix, dtype=np.float64)
+    n = m.shape[0]
+    if n > max_size:
+        return f"<{n}x{n} matrix; raise max_size to render>"
+    nz = m[m > 0]
+    if nz.size == 0:
+        return render_matrix(m, max_size=max_size)
+    lo = np.log10(nz.min())
+    hi = np.log10(nz.max())
+    span = max(hi - lo, 1e-9)
+    lines = []
+    for i in range(n):
+        row = []
+        for j in range(n):
+            v = m[i, j]
+            if v <= 0:
+                row.append(" ")
+            else:
+                idx = int((np.log10(v) - lo) / span * (len(_SHADES) - 1))
+                row.append(_SHADES[max(1, idx)])
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def traffic_summary(matrix, topology, rank_pus: Sequence[int],
+                    label: str = "traffic") -> str:
+    """One-line per-level breakdown of where the bytes travel."""
+    from repro.placement.metrics import level_bytes
+
+    lb = level_bytes(np.asarray(matrix, dtype=np.float64), topology, rank_pus)
+    total = sum(lb.values()) or 1.0
+    parts = [
+        f"{name}: {vol:,.0f} B ({100.0 * vol / total:.0f}%)"
+        for name, vol in lb.items()
+        if vol > 0
+    ]
+    return f"{label}: " + ", ".join(parts) if parts else f"{label}: none"

@@ -1,0 +1,17 @@
+"""``repro.experiments`` — one driver per paper table/figure.
+
+See DESIGN.md §5 for the experiment index and EXPERIMENTS.md for
+paper-vs-measured results.  Every driver has a ``run(...)`` returning
+structured records and a ``report(records)`` rendering the rows/series
+the paper plots.
+"""
+
+from repro.experiments import (  # noqa: F401
+    fig2_counters,
+    fig4_overhead,
+    fig5_collectives,
+    fig6_allgather,
+    fig7_cg,
+    table1_treematch,
+)
+from repro.experiments.common import Series, full_scale, render_table  # noqa: F401

@@ -1,0 +1,89 @@
+"""CLI: run any paper experiment and print its report.
+
+Usage::
+
+    python -m repro.experiments fig2
+    python -m repro.experiments fig4
+    python -m repro.experiments fig5 --op reduce
+    python -m repro.experiments fig6
+    python -m repro.experiments fig7
+    python -m repro.experiments table1
+    python -m repro.experiments all
+
+Set ``REPRO_FULL=1`` for the paper-scale grids.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    fig2_counters,
+    fig4_overhead,
+    fig5_collectives,
+    fig6_allgather,
+    fig7_cg,
+    table1_treematch,
+)
+
+
+def run_fig2(_args) -> None:
+    print(fig2_counters.report(fig2_counters.run()))
+
+
+def run_fig4(_args) -> None:
+    print(fig4_overhead.report(fig4_overhead.run()))
+
+
+def run_fig5(args) -> None:
+    ops = [args.op] if args.op else ["reduce", "bcast"]
+    for op in ops:
+        print(fig5_collectives.report(fig5_collectives.run(op)))
+        print()
+
+
+def run_fig6(_args) -> None:
+    print(fig6_allgather.report(fig6_allgather.run()))
+
+
+def run_fig7(_args) -> None:
+    print(fig7_cg.report(fig7_cg.run()))
+
+
+def run_table1(_args) -> None:
+    print(table1_treematch.report(table1_treematch.run()))
+
+
+RUNNERS = {
+    "fig2": run_fig2,
+    "fig3": run_fig2,  # same experiment, cumulative view
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "table1": run_table1,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate a table/figure of the paper.",
+    )
+    parser.add_argument("experiment", choices=sorted(RUNNERS) + ["all"])
+    parser.add_argument("--op", choices=["reduce", "bcast"], default=None,
+                        help="fig5 only: run a single collective")
+    args = parser.parse_args(argv)
+    if args.experiment == "all":
+        for name in ("fig2", "fig4", "fig5", "fig6", "fig7", "table1"):
+            print(f"===== {name} =====")
+            RUNNERS[name](args)
+            print()
+    else:
+        RUNNERS[args.experiment](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

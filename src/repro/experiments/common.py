@@ -1,0 +1,75 @@
+"""Shared infrastructure for the per-figure experiment drivers.
+
+Cluster presets mirror the paper's testbeds; ``full_scale()`` gates the
+paper-scale parameter grids behind the ``REPRO_FULL`` environment
+variable (the default grids are scaled down so the whole benchmark
+suite runs in minutes on a laptop — the *shapes* are identical, see
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Sequence
+
+__all__ = ["full_scale", "Series", "render_table", "geomean"]
+
+
+def full_scale() -> bool:
+    """True when REPRO_FULL=1: run the paper-scale grids."""
+    return os.environ.get("REPRO_FULL", "0") not in ("", "0", "false", "no")
+
+
+@dataclass
+class Series:
+    """One labelled series of (x, y) points, as plotted in a figure."""
+
+    label: str
+    x: List[Any] = field(default_factory=list)
+    y: List[float] = field(default_factory=list)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def add(self, x: Any, y: float) -> None:
+        self.x.append(x)
+        self.y.append(float(y))
+
+    def as_rows(self) -> List[tuple]:
+        return list(zip(self.x, self.y))
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[Any]],
+                 title: str = "") -> str:
+    """Fixed-width text table (the bench harness prints these)."""
+    rows = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    out = []
+    if title:
+        out.append(title)
+    out.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        out.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 1e-3:
+            return f"{v:.3g}"
+        return f"{v:.4g}"
+    return str(v)
+
+
+def geomean(values: Sequence[float]) -> float:
+    import numpy as np
+
+    vals = np.asarray([v for v in values if v > 0], dtype=float)
+    if len(vals) == 0:
+        return float("nan")
+    return float(np.exp(np.log(vals).mean()))

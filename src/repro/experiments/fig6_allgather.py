@@ -1,0 +1,120 @@
+"""Paper Fig. 6 (§6.4): reordering gain heatmap for grouped allgathers.
+
+Groups of ranks perform an MPI_Allgather per iteration; with the
+round-robin binding every group's communicator spans all the nodes.
+Per cell (buffer size × iteration count): time ``t1`` = n un-reordered
+iterations, ``t2`` = the reordering itself (monitor one iteration,
+gather, TreeMatch — whose computation time is charged from the Table-1
+model — broadcast, split), ``t3`` = n reordered iterations.
+
+Gain, as the paper defines it: ``100 · (t1 − (t2 + t3)) / t1``.
+Negative (red) where iterations are few or buffers small — the
+reordering cost is not amortized; strongly positive (green) for large
+buffers and many iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps.microbench import grouped_allgather_benchmark
+from repro.experiments.common import full_scale, render_table
+from repro.simmpi import Cluster, Engine
+
+__all__ = ["HeatmapCell", "run", "report", "DEFAULT_SIZES", "DEFAULT_ITERS"]
+
+DEFAULT_SIZES = (1, 100, 10_000, 100_000)  # MPI_INT counts
+FULL_SIZES = (1, 10, 100, 1_000, 10_000, 100_000)
+DEFAULT_ITERS = (1, 10, 100, 1_000)
+FULL_ITERS = (1, 10, 100, 1_000, 10_000)
+
+
+@dataclass
+class HeatmapCell:
+    np_ranks: int
+    n_ints: int
+    iterations: int
+    t1: float
+    t2: float
+    t3: float
+    gain_percent: float
+
+
+def run(
+    node_counts: Sequence[int] = (2,),
+    sizes: Sequence[int] = None,
+    iteration_counts: Sequence[int] = None,
+    group_size: int = 8,
+    seed: int = 0,
+) -> List[HeatmapCell]:
+    """The heatmap grid.  Defaults cover a 4×4 sub-grid on 48 ranks;
+    REPRO_FULL extends to the paper's 6×5 grid on 48/96/192 ranks."""
+    if sizes is None:
+        sizes = FULL_SIZES if full_scale() else DEFAULT_SIZES
+    if iteration_counts is None:
+        iteration_counts = FULL_ITERS if full_scale() else DEFAULT_ITERS
+    if full_scale() and node_counts == (2,):
+        node_counts = (2, 4, 8)
+
+    cells: List[HeatmapCell] = []
+    for n_nodes in node_counts:
+        cluster = Cluster.plafrim(n_nodes, binding="rr")
+        engine = Engine(cluster, seed=seed)
+        grid = [(s, it) for s in sizes for it in iteration_counts]
+
+        def program(comm):
+            from repro.core import api as mapi
+            from repro.core.errors import raise_for_code
+
+            raise_for_code(mapi.mpi_m_init())
+            out = []
+            for n_ints, iters in grid:
+                res = grouped_allgather_benchmark(
+                    comm, group_size=group_size, n_ints=n_ints,
+                    iterations=iters, manage_env=False,
+                )
+                out.append((n_ints, iters, res.t1, res.t2, res.t3,
+                            res.gain_percent))
+            raise_for_code(mapi.mpi_m_finalize())
+            return out
+
+        results = engine.run(program)
+        # Gain as experienced by the slowest rank (the paper measures
+        # the communication time of the benchmark loop).
+        for idx, (n_ints, iters, *_rest) in enumerate(results[0]):
+            t1 = max(r[idx][2] for r in results)
+            t2 = max(r[idx][3] for r in results)
+            t3 = max(r[idx][4] for r in results)
+            gain = 100.0 * (t1 - (t2 + t3)) / t1 if t1 > 0 else 0.0
+            cells.append(HeatmapCell(
+                np_ranks=cluster.n_ranks, n_ints=n_ints, iterations=iters,
+                t1=t1, t2=t2, t3=t3, gain_percent=gain,
+            ))
+    return cells
+
+
+def report(cells: List[HeatmapCell]) -> str:
+    """Heatmap rendered one table per NP (rows = iterations,
+    cols = buffer size), like the paper's three panels."""
+    out = []
+    for np_ranks in sorted({c.np_ranks for c in cells}):
+        sub = [c for c in cells if c.np_ranks == np_ranks]
+        sizes = sorted({c.n_ints for c in sub})
+        iters = sorted({c.iterations for c in sub})
+        headers = ["iters \\ ints"] + [str(s) for s in sizes]
+        rows = []
+        for it in iters:
+            row = [str(it)]
+            for s in sizes:
+                cell = next(c for c in sub if c.n_ints == s and c.iterations == it)
+                row.append(f"{cell.gain_percent:+.0f}%")
+            rows.append(row)
+        out.append(render_table(
+            headers, rows,
+            title=f"Fig. 6 — reordering gain heatmap, NP = {np_ranks} "
+                  "(green > 0 %: reordering pays off)",
+        ))
+    return "\n\n".join(out)

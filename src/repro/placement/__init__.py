@@ -1,0 +1,35 @@
+"""``repro.placement`` — process placement and dynamic rank reordering.
+
+TreeMatch (the paper's [11]) plus baseline mappers, placement metrics,
+and the Fig. 1 dynamic rank-reordering algorithm built on the
+monitoring library.
+"""
+
+from repro.placement.baselines import (  # noqa: F401
+    greedy_edge_placement,
+    identity_placement,
+    random_placement,
+    round_robin_placement,
+)
+from repro.placement.grouping import aggregate_matrix, greedy_group, symmetrize  # noqa: F401
+from repro.placement.mapping import (  # noqa: F401
+    apply_permutation,
+    invert_permutation,
+    is_permutation,
+    reorder_permutation,
+    validate_placement,
+)
+from repro.placement.metrics import (  # noqa: F401
+    hop_bytes,
+    inter_node_bytes,
+    level_bytes,
+    modeled_cost,
+)
+from repro.placement.reorder import (  # noqa: F401
+    compute_mapping,
+    redistribute_data,
+    reorder_from_matrix,
+    reorder_iterative,
+    treematch_model_seconds,
+)
+from repro.placement.treematch import TreeMatchError, treematch  # noqa: F401

@@ -1,0 +1,88 @@
+"""Baseline placement strategies to compare TreeMatch against.
+
+All return the same shape as :func:`repro.placement.treematch.treematch`:
+``placement[p] = PU``, using only the allowed PUs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.simmpi.topology import Topology
+
+__all__ = ["identity_placement", "random_placement", "round_robin_placement",
+           "greedy_edge_placement"]
+
+
+def _pus(topology: Topology, allowed_pus: Optional[Sequence[int]], n: int) -> List[int]:
+    pus = sorted(set(allowed_pus)) if allowed_pus is not None else list(
+        range(topology.n_pus)
+    )
+    if n > len(pus):
+        raise ValueError(f"{n} processes > {len(pus)} allowed PUs")
+    return pus
+
+
+def identity_placement(n: int, topology: Topology,
+                       allowed_pus: Optional[Sequence[int]] = None) -> List[int]:
+    """Process p on the p-th allowed PU (packed / by-slot)."""
+    return _pus(topology, allowed_pus, n)[:n]
+
+
+def random_placement(n: int, topology: Topology,
+                     allowed_pus: Optional[Sequence[int]] = None,
+                     seed: int = 0) -> List[int]:
+    pus = _pus(topology, allowed_pus, n)
+    rng = np.random.default_rng(seed)
+    return [pus[i] for i in rng.permutation(len(pus))[:n]]
+
+
+def round_robin_placement(n: int, topology: Topology,
+                          allowed_pus: Optional[Sequence[int]] = None) -> List[int]:
+    """Deal processes across nodes (the paper's RR baseline)."""
+    pus = _pus(topology, allowed_pus, n)
+    by_node: dict = {}
+    for pu in pus:
+        by_node.setdefault(topology.node_of(pu), []).append(pu)
+    queues = [sorted(v) for _, v in sorted(by_node.items())]
+    out: List[int] = []
+    node = 0
+    while len(out) < n:
+        hops = 0
+        while not queues[node % len(queues)]:
+            node += 1
+            hops += 1
+            if hops > len(queues):
+                raise ValueError("ran out of PUs")  # pragma: no cover
+        out.append(queues[node % len(queues)].pop(0))
+        node += 1
+    return out
+
+
+def greedy_edge_placement(matrix, topology: Topology,
+                          allowed_pus: Optional[Sequence[int]] = None) -> List[int]:
+    """A simple non-hierarchical comparator: place heaviest-talking
+    pairs on adjacent free PUs, in descending edge weight order."""
+    m = np.asarray(matrix, dtype=np.float64)
+    n = m.shape[0]
+    pus = _pus(topology, allowed_pus, n)
+    w = m + m.T
+    order = np.dstack(np.unravel_index(np.argsort(w, axis=None)[::-1], w.shape))[0]
+    placement = [-1] * n
+    free = list(pus)
+    for i, j in order:
+        if i >= j or w[i, j] <= 0:
+            continue
+        if placement[i] == -1 and placement[j] == -1 and len(free) >= 2:
+            placement[i] = free.pop(0)
+            placement[j] = free.pop(0)
+        elif placement[i] == -1 and free:
+            placement[i] = free.pop(0)
+        elif placement[j] == -1 and free:
+            placement[j] = free.pop(0)
+    for p in range(n):
+        if placement[p] == -1:
+            placement[p] = free.pop(0)
+    return placement

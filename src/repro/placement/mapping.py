@@ -1,0 +1,98 @@
+"""Mapping utilities: placements, permutations, and the paper's ``k``.
+
+Terminology (paper §5):
+
+* a **binding** maps rank → PU and is fixed for the process lifetime;
+* a **placement** maps logical process → PU (what TreeMatch computes);
+* the reordering permutation ``k`` is defined such that *the process
+  of original rank i gets rank k[i] in the optimized communicator*
+  (``MPI_Comm_split(comm, 0, k[rank])``).
+
+If TreeMatch decides logical process j should run on PU σ(j), and the
+process of rank i is pinned on PU p(i), then k[i] is the j with
+σ(j) = p(i).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "validate_placement",
+    "reorder_permutation",
+    "apply_permutation",
+    "invert_permutation",
+    "is_permutation",
+]
+
+
+def validate_placement(placement: Sequence[int], allowed_pus: Sequence[int]) -> List[int]:
+    """A placement must be injective into the allowed PU set."""
+    placement = [int(p) for p in placement]
+    allowed = set(int(p) for p in allowed_pus)
+    seen = set()
+    for pu in placement:
+        if pu not in allowed:
+            raise ValueError(f"placement uses PU {pu} outside the allowed set")
+        if pu in seen:
+            raise ValueError(f"placement assigns PU {pu} twice")
+        seen.add(pu)
+    return placement
+
+
+def reorder_permutation(
+    placement: Sequence[int], rank_pus: Sequence[int]
+) -> np.ndarray:
+    """The paper's ``k``: new rank of each original rank.
+
+    ``placement[j]`` is the PU TreeMatch wants logical rank j on;
+    ``rank_pus[i]`` is the PU the process of original rank i actually
+    occupies.  Requires both to range over the same PU set.
+    """
+    if len(placement) != len(rank_pus):
+        raise ValueError(
+            f"placement covers {len(placement)} processes, "
+            f"binding covers {len(rank_pus)}"
+        )
+    by_pu = {}
+    for j, pu in enumerate(placement):
+        if pu in by_pu:
+            raise ValueError(f"placement assigns PU {pu} twice")
+        by_pu[int(pu)] = j
+    k = np.empty(len(rank_pus), dtype=np.intp)
+    for i, pu in enumerate(rank_pus):
+        try:
+            k[i] = by_pu[int(pu)]
+        except KeyError:
+            raise ValueError(
+                f"rank {i} sits on PU {pu}, which the placement does not use"
+            ) from None
+    if not is_permutation(k):
+        raise ValueError("derived k is not a permutation")
+    return k
+
+
+def is_permutation(k: Sequence[int]) -> bool:
+    k = np.asarray(k)
+    return bool(np.array_equal(np.sort(k), np.arange(len(k))))
+
+
+def invert_permutation(k: Sequence[int]) -> np.ndarray:
+    k = np.asarray(k, dtype=np.intp)
+    inv = np.empty_like(k)
+    inv[k] = np.arange(len(k))
+    return inv
+
+
+def apply_permutation(matrix: np.ndarray, k: Sequence[int]) -> np.ndarray:
+    """Communication matrix as seen after renumbering ranks by ``k``.
+
+    Entry (i, j) of the input is traffic between original ranks; the
+    output is indexed by new ranks: out[k[i], k[j]] = in[i, j].
+    """
+    k = np.asarray(k, dtype=np.intp)
+    inv = invert_permutation(k)
+    m = np.asarray(matrix)
+    return m[np.ix_(inv, inv)]

@@ -1,0 +1,86 @@
+"""Placement quality metrics: hop-bytes, per-level traffic, modeled cost.
+
+These are the objective functions process placement optimizes
+(Hoefler/Jeannot/Mercier, the paper's [9]): given a communication
+matrix and where each rank sits, how many bytes cross each topology
+level?  Rank reordering succeeds exactly when it moves bytes from the
+``cluster`` row (inter-node) to the ``node``/``socket`` rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.simmpi.network import NetworkParams
+from repro.simmpi.topology import Topology
+
+__all__ = ["hop_bytes", "level_bytes", "inter_node_bytes", "modeled_cost"]
+
+
+def _as_matrix(matrix) -> np.ndarray:
+    m = np.asarray(matrix, dtype=np.float64)
+    if m.ndim != 2 or m.shape[0] != m.shape[1]:
+        raise ValueError(f"matrix must be square, got {m.shape}")
+    return m
+
+
+def hop_bytes(matrix, topology: Topology, rank_pus: Sequence[int]) -> float:
+    """Σ bytes(i,j) · tree-distance(pu_i, pu_j)."""
+    m = _as_matrix(matrix)
+    n = m.shape[0]
+    total = 0.0
+    for i in range(n):
+        for j in range(n):
+            if m[i, j]:
+                total += m[i, j] * topology.hop_distance(rank_pus[i], rank_pus[j])
+    return total
+
+
+def level_bytes(matrix, topology: Topology, rank_pus: Sequence[int]) -> Dict[str, float]:
+    """Bytes broken down by the sharing class of each pair.
+
+    Keys: ``"cluster"`` (inter-node), each intermediate level name,
+    and ``"self"``.
+    """
+    m = _as_matrix(matrix)
+    n = m.shape[0]
+    out: Dict[str, float] = {"cluster": 0.0, "self": 0.0}
+    for name in topology.level_names[:-1]:
+        out[name] = 0.0
+    for i in range(n):
+        for j in range(n):
+            if m[i, j]:
+                cls = topology.common_level_name(rank_pus[i], rank_pus[j])
+                out[cls] = out.get(cls, 0.0) + m[i, j]
+    return out
+
+
+def inter_node_bytes(matrix, topology: Topology, rank_pus: Sequence[int]) -> float:
+    """Bytes crossing node boundaries — what the NIC (and the paper's
+    reordering) cares about."""
+    return level_bytes(matrix, topology, rank_pus)["cluster"]
+
+
+def modeled_cost(
+    matrix,
+    topology: Topology,
+    rank_pus: Sequence[int],
+    params: NetworkParams,
+) -> float:
+    """Total serial transfer time of the matrix under the link model.
+
+    A coarse surrogate (ignores overlap), useful to rank placements:
+    Σ bytes(i,j) / bandwidth(class(i,j)).
+    """
+    m = _as_matrix(matrix)
+    n = m.shape[0]
+    total = 0.0
+    for i in range(n):
+        for j in range(n):
+            if m[i, j]:
+                cls = topology.common_level_name(rank_pus[i], rank_pus[j])
+                lp = params.link_for(cls, topology)
+                total += m[i, j] / lp.bandwidth
+    return total

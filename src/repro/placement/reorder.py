@@ -1,0 +1,154 @@
+"""Dynamic rank reordering with introspection monitoring (paper §5, Fig. 1).
+
+The algorithm, for an iterative computation:
+
+1. monitor the first iteration with a monitoring session;
+2. gather the byte matrix (``size_mat``) on rank 0
+   (``MPI_M_rootgather_data``);
+3. rank 0 computes an optimized mapping ``k`` with TreeMatch, from the
+   machine topology and the measured communication pattern;
+4. broadcast ``k``; build the optimized communicator with
+   ``MPI_Comm_split(comm, 0, k[rank])`` — the process of original rank
+   i gets rank k[i];
+5. redistribute data (rank i receives the payload of its new logical
+   role from rank k[i]);
+6. run the remaining iterations on the optimized communicator.
+
+The TreeMatch computation itself takes time (paper Table 1); rank 0's
+virtual clock is charged with :func:`treematch_model_seconds`, a power
+law fitted to Table 1, so the trade-off heatmap of Fig. 6 (reordering
+cost vs. iteration gain) is reproduced honestly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.core import api as mapi
+from repro.core.constants import Flags, MPI_M_DATA_IGNORE
+from repro.core.errors import raise_for_code
+from repro.placement.mapping import invert_permutation, reorder_permutation
+from repro.placement.treematch import treematch
+
+__all__ = [
+    "treematch_model_seconds",
+    "compute_mapping",
+    "reorder_from_matrix",
+    "redistribute_data",
+    "reorder_iterative",
+]
+
+
+def treematch_model_seconds(n: int) -> float:
+    """Modeled TreeMatch wall-clock for an n×n communication matrix.
+
+    Power law fitted to the paper's Table 1 (2.6 s at 8192 … 88.7 s at
+    65536, slope ≈ 1.7); extrapolates to ~7 ms at 256 processes, in
+    line with the paper's "up to 0.02 seconds" for 256 ranks (§7).
+    """
+    if n <= 1:
+        return 0.0
+    return 2.6 * (n / 8192.0) ** 1.7
+
+
+def compute_mapping(size_mat: np.ndarray, cluster, world_ranks) -> np.ndarray:
+    """The paper's ``compute_mapping(local_topology, size_mat)``.
+
+    Returns the permutation ``k`` (original rank → new rank) for the
+    processes whose world ranks are ``world_ranks``, pinned per the
+    cluster binding.
+    """
+    n = len(world_ranks)
+    mat = np.asarray(size_mat, dtype=np.float64).reshape(n, n)
+    pus = [cluster.binding[w] for w in world_ranks]
+    placement = treematch(mat, cluster.topology, allowed_pus=pus)
+    return reorder_permutation(placement, pus)
+
+
+def reorder_from_matrix(
+    comm,
+    size_mat: Optional[np.ndarray],
+    charge_mapping_time: bool = True,
+) -> Tuple[object, np.ndarray]:
+    """Lines 7–11 of Fig. 1: mapping at rank 0, bcast of k, comm split.
+
+    ``size_mat`` is only significant at rank 0 (the gathered byte
+    matrix).  Returns ``(opt_comm, k)`` on every rank.
+    """
+    me = comm.rank
+    if me == 0:
+        if size_mat is None:
+            raise ValueError("rank 0 must supply the gathered size matrix")
+        k = compute_mapping(size_mat, comm.engine.cluster, comm.group)
+        if charge_mapping_time:
+            comm.compute(treematch_model_seconds(comm.size))
+        k = np.asarray(k, dtype=np.int32)
+    else:
+        k = None
+    k = comm.bcast(k, root=0)
+    opt_comm = comm.split(0, int(k[me]))
+    return opt_comm, k
+
+
+def redistribute_data(comm, k: np.ndarray, payload=None, nbytes: int = 0) -> object:
+    """Line 12 of Fig. 1: move each logical rank's data to its new owner.
+
+    The process that takes over logical rank j (the one with k[i] == j)
+    receives the payload from the process whose *original* rank is j —
+    i.e. rank i receives from rank k[i] and sends to rank
+    k⁻¹[i].  Returns the received payload (or the local one when the
+    rank keeps its role).
+    """
+    k = np.asarray(k, dtype=np.intp)
+    me = comm.rank
+    inv = invert_permutation(k)
+    send_to = int(inv[me])  # the process whose new logical rank is me's old one
+    recv_from = int(k[me])
+    if send_to == me and recv_from == me:
+        return payload
+    req = comm.irecv(source=recv_from, tag=4242) if recv_from != me else None
+    if send_to != me:
+        comm.isend(payload, dest=send_to, tag=4242, nbytes=nbytes if payload is None else None)
+    if req is not None:
+        return req.wait().payload
+    return payload
+
+
+def reorder_iterative(
+    comm,
+    compute_iteration: Callable[[int, object], None],
+    max_it: int,
+    flags: Flags = Flags.ALL_COMM,
+    payload=None,
+    redistribute_nbytes: int = 0,
+    manage_env: bool = True,
+    charge_mapping_time: bool = True,
+) -> Tuple[object, np.ndarray]:
+    """The complete Fig. 1 algorithm.
+
+    Runs ``compute_iteration(1, comm)`` under monitoring, reorders, and
+    runs iterations ``2..max_it`` on the optimized communicator.
+    Returns ``(opt_comm, k)``.
+    """
+    if manage_env:
+        raise_for_code(mapi.mpi_m_init())
+    err, msid = mapi.mpi_m_start(comm)
+    raise_for_code(err)
+    compute_iteration(1, comm)
+    raise_for_code(mapi.mpi_m_suspend(msid))
+    err, _, size_mat = mapi.mpi_m_rootgather_data(
+        msid, 0, MPI_M_DATA_IGNORE, None, flags
+    )
+    raise_for_code(err)
+    raise_for_code(mapi.mpi_m_free(msid))
+
+    opt_comm, k = reorder_from_matrix(comm, size_mat,
+                                      charge_mapping_time=charge_mapping_time)
+    redistribute_data(comm, k, payload=payload, nbytes=redistribute_nbytes)
+    for it in range(2, max_it + 1):
+        compute_iteration(it, opt_comm)
+    if manage_env:
+        raise_for_code(mapi.mpi_m_finalize())
+    return opt_comm, k

@@ -1,0 +1,115 @@
+"""Process binding: how world ranks are pinned to processing units.
+
+The paper's experiments compare three initial mappings (§6.5):
+
+* ``packed`` — ranks fill node 0's cores first, then node 1, … .  This
+  models the paper's "standard" mapping (``mpirun`` by-slot default).
+* ``round_robin`` — rank *i* goes to node ``i % n_nodes`` (``mpirun
+  --map-by node``); consecutive ranks land on different nodes, which is
+  the worst case for neighbor-heavy patterns and the baseline of the
+  collective experiments (§6.3).
+* ``random`` — a seeded random permutation of the packed binding.
+
+A binding is just a list ``pu[rank]`` with distinct entries.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.simmpi.topology import Topology
+
+__all__ = [
+    "packed_binding",
+    "round_robin_binding",
+    "random_binding",
+    "explicit_binding",
+    "make_binding",
+    "validate_binding",
+]
+
+
+def validate_binding(topology: Topology, pus: Sequence[int], n_ranks: int) -> List[int]:
+    """Check a binding: right length, in-range, injective."""
+    pus = [int(p) for p in pus]
+    if len(pus) != n_ranks:
+        raise ValueError(f"binding has {len(pus)} entries for {n_ranks} ranks")
+    for p in pus:
+        if not 0 <= p < topology.n_pus:
+            raise ValueError(f"PU {p} out of range [0, {topology.n_pus})")
+    if len(set(pus)) != len(pus):
+        raise ValueError("binding maps two ranks to the same PU")
+    return pus
+
+
+def packed_binding(topology: Topology, n_ranks: int) -> List[int]:
+    """Fill cores in order: rank i -> PU i."""
+    if n_ranks > topology.n_pus:
+        raise ValueError(f"{n_ranks} ranks > {topology.n_pus} PUs")
+    return list(range(n_ranks))
+
+
+def round_robin_binding(topology: Topology, n_ranks: int) -> List[int]:
+    """Deal ranks across top-level components (nodes) like cards.
+
+    Rank i lands on node ``i % n_nodes``, taking that node's next free
+    core.  With 2 nodes of 24 cores, ranks 0,2,4,… are on node 0 and
+    ranks 1,3,5,… on node 1.
+    """
+    if n_ranks > topology.n_pus:
+        raise ValueError(f"{n_ranks} ranks > {topology.n_pus} PUs")
+    node_level = topology.level_names[0]
+    n_nodes = topology.n_components(node_level)
+    next_core = [0] * n_nodes
+    per_node = topology.n_pus // n_nodes
+    pus = []
+    for rank in range(n_ranks):
+        node = rank % n_nodes
+        if next_core[node] >= per_node:
+            raise ValueError("round-robin binding overflows a node")
+        pus.append(node * per_node + next_core[node])
+        next_core[node] += 1
+    return pus
+
+
+def random_binding(topology: Topology, n_ranks: int, seed: int = 0) -> List[int]:
+    """A seeded random injective rank -> PU assignment."""
+    if n_ranks > topology.n_pus:
+        raise ValueError(f"{n_ranks} ranks > {topology.n_pus} PUs")
+    rng = np.random.default_rng(seed)
+    return [int(p) for p in rng.permutation(topology.n_pus)[:n_ranks]]
+
+
+def explicit_binding(topology: Topology, pus: Sequence[int]) -> List[int]:
+    """Use a caller-provided binding, after validation."""
+    return validate_binding(topology, pus, len(pus))
+
+
+_STRATEGIES = {
+    "packed": packed_binding,
+    "standard": packed_binding,  # the paper's "no binding" default
+    "round_robin": round_robin_binding,
+    "rr": round_robin_binding,
+    "random": random_binding,
+}
+
+
+def make_binding(
+    topology: Topology, n_ranks: int, strategy: str = "packed", seed: int = 0
+) -> List[int]:
+    """Build a binding by strategy name.
+
+    ``strategy`` is one of ``packed``/``standard``, ``round_robin``/``rr``
+    or ``random`` (which honours ``seed``).
+    """
+    try:
+        fn = _STRATEGIES[strategy]
+    except KeyError:
+        raise ValueError(
+            f"unknown binding strategy {strategy!r}; have {sorted(_STRATEGIES)}"
+        ) from None
+    if fn is random_binding:
+        return fn(topology, n_ranks, seed=seed)
+    return fn(topology, n_ranks)

@@ -1,0 +1,21 @@
+"""Collective operations, all decomposed into point-to-point messages.
+
+Every algorithm here is implemented strictly on top of
+``Communicator._isend`` / ``_irecv`` with the ``"coll"`` category, so
+the monitoring component records the *decomposition* of each collective
+— the paper's headline capability (§1, §4.5): a reduce is seen as its
+tree of sends, not as one opaque API call.
+
+Each module offers several algorithms (mirroring Open MPI's tuned
+collective component); the paper's experiments use the binomial-tree
+broadcast and the in-order binary-tree reduce (Fig. 5 captions).
+"""
+
+from repro.simmpi.collectives.barrier import barrier  # noqa: F401
+from repro.simmpi.collectives.bcast import bcast  # noqa: F401
+from repro.simmpi.collectives.reduce import reduce  # noqa: F401
+from repro.simmpi.collectives.allreduce import allreduce  # noqa: F401
+from repro.simmpi.collectives.gather import gather  # noqa: F401
+from repro.simmpi.collectives.scatter import scatter  # noqa: F401
+from repro.simmpi.collectives.allgather import allgather  # noqa: F401
+from repro.simmpi.collectives.alltoall import alltoall  # noqa: F401

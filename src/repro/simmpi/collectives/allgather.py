@@ -1,0 +1,134 @@
+"""Allgather algorithms: ring (default), recursive doubling, gather+bcast.
+
+Used by the paper's §6.4 micro-benchmark, where groups of ranks
+allgather every iteration and reordering restores data locality.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.simmpi.collectives.util import as_buffer, is_pow2, unwrap
+from repro.simmpi.datatypes import Buffer
+from repro.simmpi.errorsim import CommError
+
+__all__ = ["allgather", "ALGORITHMS"]
+
+ALGORITHMS = ("ring", "recursive_doubling", "bruck", "gather_bcast")
+
+
+def allgather(
+    comm,
+    value: Any,
+    nbytes: Optional[int] = None,
+    algorithm: Optional[str] = None,
+) -> List[Any]:
+    """Gather every rank's ``value``; all ranks return the full list,
+    indexed by rank."""
+    if algorithm is None:
+        algorithm = "recursive_doubling" if is_pow2(comm.size) else "ring"
+    if algorithm not in ALGORITHMS:
+        raise CommError(f"unknown allgather algorithm {algorithm!r}; have {ALGORITHMS}")
+    if algorithm == "recursive_doubling" and not is_pow2(comm.size):
+        raise CommError("recursive_doubling requires a power-of-two size")
+    ctx = comm._next_collective_context("allgather")
+    buf = as_buffer(value, nbytes)
+    if comm.size == 1:
+        return [unwrap(buf)]
+
+    if algorithm == "ring":
+        pieces = _ring(comm, buf, ctx)
+    elif algorithm == "recursive_doubling":
+        pieces = _recursive_doubling(comm, buf, ctx)
+    elif algorithm == "bruck":
+        pieces = _bruck(comm, buf, ctx)
+    else:
+        pieces = _gather_bcast(comm, buf, ctx)
+    return [unwrap(pieces[r]) for r in range(comm.size)]
+
+
+def _piece_message(pieces: Dict[int, Buffer]) -> Buffer:
+    """Pack a set of per-rank pieces into one wire message.
+
+    The payload is the dict itself (copy semantics apply at send time);
+    the wire size is the sum of the piece sizes, so the timing model and
+    the monitoring component both see the true transferred volume.
+    """
+    total = sum(b.nbytes for b in pieces.values())
+    return Buffer(dict(pieces), nbytes=total)
+
+
+def _ring(comm, buf: Buffer, ctx) -> Dict[int, Buffer]:
+    me, size = comm.rank, comm.size
+    right = (me + 1) % size
+    left = (me - 1) % size
+    pieces: Dict[int, Buffer] = {me: buf}
+    # Step k: forward the piece received at step k-1 (own piece first).
+    forward = me
+    for step in range(size - 1):
+        req = comm._irecv(left, tag=step, context=ctx)
+        comm._isend(pieces[forward], right, tag=step, context=ctx, category="coll")
+        msg = req.wait()
+        incoming = (left - step) % size  # origin of the piece at this step
+        pieces[incoming] = msg.buf
+        forward = incoming
+    return pieces
+
+
+def _recursive_doubling(comm, buf: Buffer, ctx) -> Dict[int, Buffer]:
+    me, size = comm.rank, comm.size
+    pieces: Dict[int, Buffer] = {me: buf}
+    mask = 1
+    while mask < size:
+        peer = me ^ mask
+        req = comm._irecv(peer, tag=mask, context=ctx)
+        comm._isend(_piece_message(pieces), peer, tag=mask, context=ctx, category="coll")
+        msg = req.wait()
+        pieces.update(msg.payload)
+        mask <<= 1
+    return pieces
+
+
+def _bruck(comm, buf: Buffer, ctx) -> Dict[int, Buffer]:
+    """Bruck's algorithm: ⌈log₂ p⌉ rounds for *any* communicator size.
+
+    Round k: send the pieces accumulated so far to ``rank - 2^k`` and
+    receive from ``rank + 2^k`` (mod p); after the last round every
+    rank holds all p pieces.  Works for non-powers of two with a
+    partial final round, unlike recursive doubling.
+    """
+    me, size = comm.rank, comm.size
+    pieces: Dict[int, Buffer] = {me: buf}
+    k = 0
+    while (1 << k) < size:
+        dist = 1 << k
+        dst = (me - dist) % size
+        src = (me + dist) % size
+        # Send the block of pieces accumulated so far: the window of up
+        # to `dist` pieces starting at my own rank.
+        window = [(me + j) % size for j in range(min(dist, size))]
+        tosend = {r: pieces[r] for r in window if r in pieces}
+        req = comm._irecv(src, tag=k, context=ctx)
+        comm._isend(_piece_message(tosend), dst, tag=k, context=ctx,
+                    category="coll")
+        msg = req.wait()
+        pieces.update(msg.payload)
+        k += 1
+    assert len(pieces) == size
+    return pieces
+
+
+def _gather_bcast(comm, buf: Buffer, ctx) -> Dict[int, Buffer]:
+    from repro.simmpi.collectives.bcast import bcast
+    from repro.simmpi.collectives.gather import gather
+
+    me = comm.rank
+    gathered = gather(comm, buf, root=0)
+    if me == 0:
+        table = {r: as_buffer(v) for r, v in enumerate(gathered)}
+        packed = _piece_message(table)
+    else:
+        packed = None
+    result = bcast(comm, packed, root=0)
+    payload = result.payload if isinstance(result, Buffer) else result
+    return dict(payload)

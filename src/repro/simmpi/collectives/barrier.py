@@ -1,0 +1,76 @@
+"""Barrier algorithms: dissemination (default) and tree.
+
+Barriers generate *zero-length* point-to-point messages — the message
+counts still increment, which is exactly the caveat the paper gives in
+§4.1 ("some collective MPI routines might generate point-to-point
+zero-length messages"), and what the quickstart example shows for
+``MPI_Barrier``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.simmpi.collectives.util import ceil_log2
+from repro.simmpi.datatypes import Buffer
+from repro.simmpi.errorsim import CommError
+
+__all__ = ["barrier", "ALGORITHMS"]
+
+ALGORITHMS = ("dissemination", "tree")
+
+_TOKEN = Buffer(None, nbytes=0)
+
+
+def barrier(comm, algorithm: Optional[str] = None) -> None:
+    """Block until every rank has entered the barrier."""
+    algorithm = algorithm or "dissemination"
+    if algorithm not in ALGORITHMS:
+        raise CommError(f"unknown barrier algorithm {algorithm!r}; have {ALGORITHMS}")
+    ctx = comm._next_collective_context("barrier")
+    if comm.size == 1:
+        return
+    if algorithm == "dissemination":
+        _dissemination(comm, ctx)
+    else:
+        _tree(comm, ctx)
+
+
+def _dissemination(comm, ctx) -> None:
+    me, size = comm.rank, comm.size
+    for k in range(ceil_log2(size)):
+        dist = 1 << k
+        dst = (me + dist) % size
+        src = (me - dist) % size
+        req = comm._irecv(src, tag=k, context=ctx)
+        comm._isend(_TOKEN, dst, tag=k, context=ctx, category="coll")
+        req.wait()
+
+
+def _tree(comm, ctx) -> None:
+    """Binomial fan-in to rank 0 then binomial fan-out."""
+    me, size = comm.rank, comm.size
+    # Fan-in.
+    mask = 1
+    while mask < size:
+        if me & mask == 0:
+            src = me | mask
+            if src < size:
+                comm._irecv(src, tag=mask, context=ctx).wait()
+        else:
+            comm._isend(_TOKEN, me & ~mask, tag=mask, context=ctx, category="coll")
+            break
+        mask <<= 1
+    # Fan-out (release), reusing the binomial broadcast structure.
+    mask = 1
+    while mask < size:
+        if me & mask:
+            comm._irecv(me - mask, tag=size + mask, context=ctx).wait()
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        if me + mask < size:
+            comm._isend(_TOKEN, me + mask, tag=size + mask, context=ctx,
+                        category="coll")
+        mask >>= 1

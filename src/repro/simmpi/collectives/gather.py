@@ -1,0 +1,78 @@
+"""Gather algorithms: binomial tree (default) and linear."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.simmpi.collectives.util import as_buffer, unvrank, unwrap, vrank
+from repro.simmpi.datatypes import Buffer
+from repro.simmpi.errorsim import CommError
+
+__all__ = ["gather", "ALGORITHMS"]
+
+ALGORITHMS = ("binomial", "linear")
+
+
+def gather(
+    comm,
+    value: Any,
+    root: int = 0,
+    nbytes: Optional[int] = None,
+    algorithm: Optional[str] = None,
+) -> Optional[List[Any]]:
+    """Gather every rank's ``value`` at ``root`` (returns ``None``
+    elsewhere)."""
+    comm._check_rank(root)
+    algorithm = algorithm or "binomial"
+    if algorithm not in ALGORITHMS:
+        raise CommError(f"unknown gather algorithm {algorithm!r}; have {ALGORITHMS}")
+    ctx = comm._next_collective_context("gather")
+    me, size = comm.rank, comm.size
+    buf = as_buffer(value, nbytes)
+    if size == 1:
+        return [unwrap(buf)]
+
+    if algorithm == "binomial":
+        table = _binomial(comm, buf, root, ctx)
+    else:
+        table = _linear(comm, buf, root, ctx)
+    if me != root:
+        return None
+    return [unwrap(table[r]) for r in range(size)]
+
+
+def _pack(table: Dict[int, Buffer]) -> Buffer:
+    total = sum(b.nbytes for b in table.values())
+    return Buffer(dict(table), nbytes=total)
+
+
+def _binomial(comm, buf: Buffer, root: int, ctx) -> Optional[Dict[int, Buffer]]:
+    me, size = comm.rank, comm.size
+    vr = vrank(me, root, size)
+    table: Dict[int, Buffer] = {me: buf}
+    mask = 1
+    while mask < size:
+        if vr & mask == 0:
+            src_v = vr | mask
+            if src_v < size:
+                msg = comm._irecv(unvrank(src_v, root, size), tag=mask, context=ctx).wait()
+                table.update(msg.payload)
+        else:
+            dst = unvrank(vr & ~mask, root, size)
+            comm._isend(_pack(table), dst, tag=mask, context=ctx, category="coll")
+            return None
+        mask <<= 1
+    return table
+
+
+def _linear(comm, buf: Buffer, root: int, ctx) -> Optional[Dict[int, Buffer]]:
+    me, size = comm.rank, comm.size
+    if me != root:
+        comm._isend(buf, root, tag=0, context=ctx, category="coll")
+        return None
+    table: Dict[int, Buffer] = {me: buf}
+    for src in range(size):
+        if src == root:
+            continue
+        table[src] = comm._irecv(src, tag=0, context=ctx).wait().buf
+    return table

@@ -1,0 +1,128 @@
+"""Reduce algorithms: binomial tree, binary tree, flat — pipelined.
+
+The paper's Fig. 5a optimizes the *binary-tree* reduce ("Binary Tree
+algorithm" in the caption): every internal tree node receives the full
+buffer from each child.  Like Open MPI's tuned component, large
+buffers are segmented and pipelined through the tree; the monitoring
+component records one point-to-point message per segment per edge.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.simmpi.collectives.segment import join_payloads, n_segments, split_buffer
+from repro.simmpi.collectives.util import as_buffer, unvrank, unwrap, vrank
+from repro.simmpi.datatypes import Buffer
+from repro.simmpi.errorsim import CommError
+from repro.simmpi.op import Op, combine
+
+__all__ = ["reduce", "ALGORITHMS"]
+
+ALGORITHMS = ("binomial", "binary", "flat")
+
+
+def reduce(
+    comm,
+    value: Any,
+    op: Op,
+    root: int = 0,
+    nbytes: Optional[int] = None,
+    algorithm: Optional[str] = None,
+    segments: Optional[int] = None,
+) -> Any:
+    """Reduce ``value`` across ranks with ``op``; the result lands at
+    ``root`` (other ranks return ``None``).
+
+    The segment count is derived from the (uniform) buffer size; pass
+    ``segments=1`` to disable pipelining (required for concrete
+    payloads that are not NumPy arrays).
+    """
+    comm._check_rank(root)
+    algorithm = algorithm or "binomial"
+    if algorithm not in ALGORITHMS:
+        raise CommError(f"unknown reduce algorithm {algorithm!r}; have {ALGORITHMS}")
+    ctx = comm._next_collective_context("reduce")
+    me, size = comm.rank, comm.size
+    buf = as_buffer(value, nbytes)
+    if size == 1:
+        return unwrap(buf)
+
+    nseg = max(1, int(segments)) if segments is not None else n_segments(buf.nbytes)
+    if nseg > 1 and buf.payload is not None and not hasattr(buf.payload, "reshape"):
+        raise CommError(
+            "cannot segment a non-array payload; pass segments=1"
+        )
+
+    if algorithm == "binomial":
+        out = _tree_reduce(comm, buf, op, root, ctx, nseg, _binomial_links)
+    elif algorithm == "binary":
+        out = _tree_reduce(comm, buf, op, root, ctx, nseg, _binary_links)
+    else:
+        out = _flat(comm, buf, op, root, ctx)
+    return unwrap(out) if me == root else None
+
+
+# ---------------------------------------------------------------------------
+# tree shapes: (children, parent) in *virtual* rank space
+
+
+def _binary_links(vr: int, size: int):
+    children = [c for c in (2 * vr + 1, 2 * vr + 2) if c < size]
+    parent = None if vr == 0 else (vr - 1) // 2
+    return children, parent
+
+
+def _binomial_links(vr: int, size: int):
+    children = []
+    parent = None
+    mask = 1
+    while mask < size:
+        if vr & mask:
+            parent = vr & ~mask
+            break
+        if vr | mask < size and vr | mask != vr:
+            children.append(vr | mask)
+        mask <<= 1
+    # Children must be reduced before forwarding: deepest (smallest
+    # offset) subtrees complete first, so receive in ascending order.
+    return children, parent
+
+
+def _tree_reduce(comm, buf: Buffer, op: Op, root: int, ctx, nseg: int,
+                 links) -> Optional[Buffer]:
+    me, size = comm.rank, comm.size
+    vr = vrank(me, root, size)
+    children_v, parent_v = links(vr, size)
+    children = [unvrank(c, root, size) for c in children_v]
+    parent = None if parent_v is None else unvrank(parent_v, root, size)
+
+    pieces = split_buffer(buf, nseg)
+    out: List[Buffer] = []
+    for s, piece in enumerate(pieces):
+        acc = piece
+        for child in children:
+            msg = comm._irecv(child, tag=s, context=ctx).wait()
+            acc = combine(op, acc, msg.buf)
+        if parent is not None:
+            comm._isend(acc, parent, tag=s, context=ctx, category="coll")
+        else:
+            out.append(acc)
+    if parent is not None:
+        return None
+    if nseg == 1:
+        return out[0]
+    return join_payloads(out, buf)
+
+
+def _flat(comm, buf: Buffer, op: Op, root: int, ctx) -> Optional[Buffer]:
+    me, size = comm.rank, comm.size
+    if me != root:
+        comm._isend(buf, root, tag=0, context=ctx, category="coll")
+        return None
+    for src in range(size):
+        if src == root:
+            continue
+        msg = comm._irecv(src, tag=0, context=ctx).wait()
+        buf = combine(op, buf, msg.buf)
+    return buf

@@ -1,0 +1,94 @@
+"""Scatter algorithms: binomial tree (default) and linear."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence
+
+from repro.simmpi.collectives.util import as_buffer, unvrank, unwrap, vrank
+from repro.simmpi.datatypes import Buffer
+from repro.simmpi.errorsim import CommError
+
+__all__ = ["scatter", "ALGORITHMS"]
+
+ALGORITHMS = ("binomial", "linear")
+
+
+def scatter(
+    comm,
+    values: Optional[Sequence[Any]] = None,
+    root: int = 0,
+    nbytes: Optional[int] = None,
+    algorithm: Optional[str] = None,
+) -> Any:
+    """Scatter ``values`` (one item per rank, significant at ``root``);
+    every rank returns its item.
+
+    ``nbytes``, if given, is the per-item size (for abstract items).
+    """
+    comm._check_rank(root)
+    algorithm = algorithm or "binomial"
+    if algorithm not in ALGORITHMS:
+        raise CommError(f"unknown scatter algorithm {algorithm!r}; have {ALGORITHMS}")
+    ctx = comm._next_collective_context("scatter")
+    me, size = comm.rank, comm.size
+
+    table: Optional[Dict[int, Buffer]] = None
+    if me == root:
+        if values is None or len(values) != size:
+            raise CommError(f"root must supply {size} values")
+        table = {r: as_buffer(v, nbytes) for r, v in enumerate(values)}
+    if size == 1:
+        return unwrap(table[0])
+
+    if algorithm == "binomial":
+        mine = _binomial(comm, table, root, ctx)
+    else:
+        mine = _linear(comm, table, root, ctx)
+    return unwrap(mine)
+
+
+def _pack(table: Dict[int, Buffer]) -> Buffer:
+    total = sum(b.nbytes for b in table.values())
+    return Buffer(dict(table), nbytes=total)
+
+
+def _binomial(comm, table: Optional[Dict[int, Buffer]], root: int, ctx) -> Buffer:
+    me, size = comm.rank, comm.size
+    vr = vrank(me, root, size)
+
+    # Receive the block of items for my subtree.
+    mask = 1
+    while mask < size:
+        if vr & mask:
+            src = unvrank(vr - mask, root, size)
+            msg = comm._irecv(src, tag=mask, context=ctx).wait()
+            table = dict(msg.payload)
+            break
+        mask <<= 1
+
+    # Forward sub-blocks to my children (largest subtree first).
+    mask >>= 1
+    while mask > 0:
+        if vr + mask < size:
+            dst_v = vr + mask
+            sub = {
+                r: b
+                for r, b in table.items()
+                if dst_v <= vrank(r, root, size) < dst_v + mask
+            }
+            comm._isend(_pack(sub), unvrank(dst_v, root, size), tag=mask,
+                        context=ctx, category="coll")
+            for r in sub:
+                del table[r]
+        mask >>= 1
+    return table[me]
+
+
+def _linear(comm, table: Optional[Dict[int, Buffer]], root: int, ctx) -> Buffer:
+    me, size = comm.rank, comm.size
+    if me == root:
+        for dst in range(size):
+            if dst != root:
+                comm._isend(table[dst], dst, tag=0, context=ctx, category="coll")
+        return table[me]
+    return comm._irecv(root, tag=0, context=ctx).wait().buf

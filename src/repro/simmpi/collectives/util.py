@@ -1,0 +1,43 @@
+"""Shared helpers for the collective algorithms."""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.simmpi.datatypes import Buffer
+
+__all__ = ["as_buffer", "unwrap", "vrank", "unvrank", "is_pow2", "ceil_log2"]
+
+
+def as_buffer(value: Any, nbytes: Optional[int] = None) -> Buffer:
+    return Buffer.wrap(value, nbytes)
+
+
+def unwrap(buf: Buffer) -> Any:
+    """Return a buffer's payload, or the abstract buffer itself.
+
+    Concrete payloads come back as plain values (mpi4py-style); abstract
+    buffers are returned as :class:`Buffer` so their size survives.
+    """
+    if buf.is_abstract:
+        return buf
+    return buf.payload
+
+
+def vrank(rank: int, root: int, size: int) -> int:
+    """Virtual rank with the root shifted to 0 (for rooted trees)."""
+    return (rank - root) % size
+
+
+def unvrank(vr: int, root: int, size: int) -> int:
+    return (vr + root) % size
+
+
+def is_pow2(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def ceil_log2(n: int) -> int:
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return (n - 1).bit_length()

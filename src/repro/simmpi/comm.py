@@ -1,0 +1,345 @@
+"""Communicators: point-to-point messaging, split/dup, and the PML hook.
+
+``Communicator._pml_send`` is the single choke point every message goes
+through — user point-to-point, the decomposition of every collective,
+and one-sided traffic alike.  That is where the monitoring component
+(:mod:`repro.simmpi.pml_monitoring`) records the message and where the
+per-message monitoring overhead is charged, reproducing the vantage
+point of Open MPI's ``pml_monitoring``.
+
+Collectives live in :mod:`repro.simmpi.collectives` and are attached
+here as thin delegating methods; all of them are implemented strictly
+on top of :meth:`_isend`/:meth:`_irecv`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, List, Optional, Sequence, Tuple
+
+from repro.simmpi.datatypes import Buffer
+from repro.simmpi.errorsim import CommError
+from repro.simmpi.match import ANY_SOURCE, ANY_TAG, MatchQueue, Message
+from repro.simmpi.op import Op
+from repro.simmpi.request import RecvRequest, Request, SendRequest
+
+__all__ = ["Communicator", "ANY_SOURCE", "ANY_TAG"]
+
+_PT2PT_CONTEXT = "pt2pt"
+
+
+class Communicator:
+    """A group of world ranks with its own matching context.
+
+    The same object is shared by all member processes; rank-dependent
+    views (``comm.rank``) resolve the calling process via the engine's
+    thread-local.  This mirrors how an MPI communicator is one logical
+    object referenced by many processes.
+    """
+
+    def __init__(self, engine, group: Sequence[int]):
+        if len(group) == 0:
+            raise CommError("empty communicator group")
+        if len(set(group)) != len(group):
+            raise CommError("duplicate world ranks in group")
+        self.engine = engine
+        self.group: List[int] = [int(r) for r in group]
+        self.id = engine.alloc_comm_id()
+        self._local_of_world = {w: i for i, w in enumerate(self.group)}
+
+    # -- identity -----------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self.group)
+
+    @property
+    def rank(self) -> int:
+        """Rank of the *calling process* in this communicator."""
+        proc = self._current()
+        try:
+            return self._local_of_world[proc.rank]
+        except KeyError:
+            raise CommError(
+                f"world rank {proc.rank} is not a member of this communicator"
+            ) from None
+
+    def world_rank(self, local_rank: int) -> int:
+        self._check_rank(local_rank)
+        return self.group[local_rank]
+
+    def contains_current(self) -> bool:
+        return self._current().rank in self._local_of_world
+
+    # -- time -----------------------------------------------------------------
+
+    @property
+    def time(self) -> float:
+        """The calling rank's virtual clock, in seconds."""
+        return self._current().clock
+
+    def compute(self, seconds: float) -> None:
+        """Model local computation: advance the caller's clock."""
+        self._current().advance(seconds)
+
+    def sleep(self, seconds: float) -> None:
+        """Model idle time (identical to :meth:`compute` in the model)."""
+        self._current().advance(seconds)
+
+    # -- user point-to-point ----------------------------------------------
+
+    def send(
+        self,
+        value: Any = None,
+        dest: int = 0,
+        tag: int = 0,
+        nbytes: Optional[int] = None,
+    ) -> None:
+        """Blocking (buffered-eager) send of ``value`` to ``dest``."""
+        self.isend(value, dest=dest, tag=tag, nbytes=nbytes)
+
+    def isend(
+        self,
+        value: Any = None,
+        dest: int = 0,
+        tag: int = 0,
+        nbytes: Optional[int] = None,
+    ) -> Request:
+        if tag < 0:
+            raise CommError(f"user tags must be >= 0, got {tag}")
+        buf = Buffer.wrap(value, nbytes)
+        return self._isend(buf, dest, tag, _PT2PT_CONTEXT, "p2p")
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Message:
+        """Blocking receive; returns the matched :class:`Message`."""
+        return self.irecv(source=source, tag=tag).wait()
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> RecvRequest:
+        return self._irecv(source, tag, _PT2PT_CONTEXT)
+
+    def sendrecv(
+        self,
+        value: Any,
+        dest: int,
+        source: int = ANY_SOURCE,
+        sendtag: int = 0,
+        recvtag: int = ANY_TAG,
+        nbytes: Optional[int] = None,
+    ) -> Message:
+        """Combined send+receive (deadlock-free exchange)."""
+        req = self.irecv(source=source, tag=recvtag)
+        self.isend(value, dest=dest, tag=sendtag, nbytes=nbytes)
+        return req.wait()
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Optional[Message]:
+        """Non-blocking probe of the unexpected queue (no clock cost)."""
+        proc = self._current()
+        mq = self._queue(self._local_of_world[proc.rank])
+        return mq.probe(source, tag, _PT2PT_CONTEXT)
+
+    # -- internal point-to-point (collectives, OSC) -------------------------
+
+    def _isend(
+        self, buf: Buffer, dest: int, tag: int, context: Hashable, category: str
+    ) -> Request:
+        self._check_rank(dest)
+        proc = self._current()
+        engine = self.engine
+        src_local = self._local_of_world[proc.rank]
+        dst_world = self.group[dest]
+
+        # Keep shared timed resources (NIC windows) roughly in
+        # virtual-time order across ranks.
+        engine.maybe_yield(proc)
+
+        # PML monitoring hook: record + charge the bookkeeping cost.
+        if engine.pml.record(proc.rank, dst_world, buf.nbytes, category):
+            engine.charge_monitoring_overhead(proc)
+
+        sender_done, arrival = engine.network.transfer(
+            proc.rank, dst_world, buf.nbytes, proc.clock
+        )
+        proc.clock = sender_done
+
+        msg = Message(
+            src=src_local,
+            dst=dest,
+            tag=tag,
+            context=context,
+            buf=Buffer(buf.copy_payload(), nbytes=buf.nbytes),
+            arrival=arrival,
+            category=category,
+        )
+        self._queue(dest).deliver(msg)
+        return SendRequest(buf.nbytes)
+
+    def _irecv(self, source: int, tag: int, context: Hashable) -> RecvRequest:
+        if source != ANY_SOURCE:
+            self._check_rank(source)
+        proc = self._current()
+        my_local = self._local_of_world[proc.rank]
+        req = RecvRequest(self, proc, source, tag, context)
+        self._queue(my_local).post(req)
+        return req
+
+    def _queue(self, dst_local: int) -> MatchQueue:
+        key = (self.id, dst_local)
+        mq = self.engine.match_queues.get(key)
+        if mq is None:
+            mq = MatchQueue()
+            self.engine.match_queues[key] = mq
+        return mq
+
+    # -- collective context management ------------------------------------
+
+    def _next_collective_context(self, opname: str) -> Tuple[str, int, int]:
+        """A fresh context shared by all ranks for one collective call.
+
+        Relies on the MPI rule that all members call collectives in the
+        same order; each rank keeps its own counter and they stay in
+        lockstep.  Mismatched collective sequences surface as deadlocks.
+        """
+        proc = self._current()
+        key = ("coll_seq", self.id)
+        seq = proc.userdata.get(key, 0)
+        proc.userdata[key] = seq + 1
+        return ("coll", self.id, seq)
+
+    # -- communicator management --------------------------------------------
+
+    def split(self, color: int, key: int) -> Optional["Communicator"]:
+        """MPI_Comm_split: group by ``color``, order by ``(key, rank)``.
+
+        Color ``< 0`` (MPI_UNDEFINED) yields ``None``.  The exchange of
+        (color, key) pairs is itself a monitored collective (allgather),
+        as in a real MPI implementation.
+        """
+        from repro.simmpi.collectives.allgather import allgather
+
+        me = self.rank
+        pairs = allgather(self, (int(color), int(key)))
+        seq = self._split_seq()
+        my_color = int(color)
+        if my_color < 0:
+            return None
+        members = [
+            (k, r) for r, (c, k) in enumerate(pairs) if c == my_color
+        ]
+        members.sort()
+        group_world = [self.group[r] for _, r in members]
+        reg_key = ("split", self.id, seq, my_color)
+        comm = self.engine.comm_registry.get(reg_key)
+        if comm is None:
+            comm = Communicator(self.engine, group_world)
+            self.engine.comm_registry[reg_key] = comm
+        return comm
+
+    def dup(self) -> "Communicator":
+        """MPI_Comm_dup: same group, fresh context."""
+        seq = self._split_seq()
+        from repro.simmpi.collectives.barrier import barrier
+
+        barrier(self)  # a dup synchronizes, like the real thing
+        reg_key = ("dup", self.id, seq)
+        comm = self.engine.comm_registry.get(reg_key)
+        if comm is None:
+            comm = Communicator(self.engine, list(self.group))
+            self.engine.comm_registry[reg_key] = comm
+        return comm
+
+    def _split_seq(self) -> int:
+        proc = self._current()
+        key = ("split_seq", self.id)
+        seq = proc.userdata.get(key, 0)
+        proc.userdata[key] = seq + 1
+        return seq
+
+    # -- collectives (implemented over _isend/_irecv) -------------------------
+
+    def barrier(self, algorithm: Optional[str] = None) -> None:
+        from repro.simmpi.collectives.barrier import barrier
+
+        barrier(self, algorithm=algorithm)
+
+    def bcast(self, value: Any = None, root: int = 0, nbytes: Optional[int] = None,
+              algorithm: Optional[str] = None,
+              segments: Optional[int] = None) -> Any:
+        from repro.simmpi.collectives.bcast import bcast
+
+        return bcast(self, value, root=root, nbytes=nbytes,
+                     algorithm=algorithm, segments=segments)
+
+    def reduce(self, value: Any, op: Op, root: int = 0,
+               nbytes: Optional[int] = None, algorithm: Optional[str] = None,
+               segments: Optional[int] = None) -> Any:
+        from repro.simmpi.collectives.reduce import reduce as _reduce
+
+        return _reduce(self, value, op, root=root, nbytes=nbytes,
+                       algorithm=algorithm, segments=segments)
+
+    def allreduce(self, value: Any, op: Op, nbytes: Optional[int] = None,
+                  algorithm: Optional[str] = None) -> Any:
+        from repro.simmpi.collectives.allreduce import allreduce
+
+        return allreduce(self, value, op, nbytes=nbytes, algorithm=algorithm)
+
+    def gather(self, value: Any, root: int = 0, nbytes: Optional[int] = None,
+               algorithm: Optional[str] = None) -> Optional[List[Any]]:
+        from repro.simmpi.collectives.gather import gather
+
+        return gather(self, value, root=root, nbytes=nbytes, algorithm=algorithm)
+
+    def scatter(self, values: Optional[Sequence[Any]] = None, root: int = 0,
+                nbytes: Optional[int] = None,
+                algorithm: Optional[str] = None) -> Any:
+        from repro.simmpi.collectives.scatter import scatter
+
+        return scatter(self, values, root=root, nbytes=nbytes, algorithm=algorithm)
+
+    def allgather(self, value: Any, nbytes: Optional[int] = None,
+                  algorithm: Optional[str] = None) -> List[Any]:
+        from repro.simmpi.collectives.allgather import allgather
+
+        return allgather(self, value, nbytes=nbytes, algorithm=algorithm)
+
+    def alltoall(self, values: Sequence[Any], nbytes: Optional[int] = None,
+                 algorithm: Optional[str] = None) -> List[Any]:
+        from repro.simmpi.collectives.alltoall import alltoall
+
+        return alltoall(self, values, nbytes=nbytes, algorithm=algorithm)
+
+    def scan(self, value: Any, op: Op, nbytes: Optional[int] = None) -> Any:
+        from repro.simmpi.collectives.scan import scan
+
+        return scan(self, value, op, nbytes=nbytes)
+
+    def exscan(self, value: Any, op: Op, nbytes: Optional[int] = None) -> Any:
+        from repro.simmpi.collectives.scan import exscan
+
+        return exscan(self, value, op, nbytes=nbytes)
+
+    def reduce_scatter(self, values: Sequence[Any], op: Op,
+                       nbytes: Optional[int] = None) -> Any:
+        from repro.simmpi.collectives.scan import reduce_scatter
+
+        return reduce_scatter(self, list(values), op, nbytes=nbytes)
+
+    # -- one-sided --------------------------------------------------------
+
+    def win_create(self, local_data: Any = None, nbytes: Optional[int] = None):
+        from repro.simmpi.osc import Window
+
+        return Window.create(self, local_data, nbytes=nbytes)
+
+    # -- helpers ---------------------------------------------------------
+
+    def _current(self):
+        from repro.simmpi.engine import current_process
+
+        return current_process()
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise CommError(f"rank {rank} out of range [0, {self.size})")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Communicator(id={self.id}, size={self.size})"

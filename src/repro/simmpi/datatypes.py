@@ -1,0 +1,126 @@
+"""MPI datatypes and message buffer descriptors for the simulated runtime.
+
+Two payload styles are supported, mirroring mpi4py's split between
+pickled objects and buffer objects:
+
+* **Concrete payloads** — any Python object, or a NumPy array.  The byte
+  size is taken from ``arr.nbytes`` for arrays and estimated for plain
+  objects.  Collective reductions require concrete NumPy/scalar payloads.
+* **Abstract payloads** — ``Buffer.abstract(nbytes)`` carries only a byte
+  count.  These are used by the modeled workloads (e.g. NAS CG classes
+  C/D) where only the communication *volume* matters, so multi-hundred-MB
+  buffers never have to be allocated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+__all__ = [
+    "Datatype",
+    "BYTE",
+    "CHAR",
+    "INT",
+    "UNSIGNED",
+    "LONG",
+    "UNSIGNED_LONG",
+    "FLOAT",
+    "DOUBLE",
+    "Buffer",
+    "payload_nbytes",
+]
+
+
+@dataclass(frozen=True)
+class Datatype:
+    """A basic MPI datatype: a name, a byte extent and a NumPy dtype."""
+
+    name: str
+    extent: int
+    np_dtype: Optional[np.dtype]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Datatype({self.name}, extent={self.extent})"
+
+
+BYTE = Datatype("MPI_BYTE", 1, np.dtype(np.uint8))
+CHAR = Datatype("MPI_CHAR", 1, np.dtype(np.int8))
+INT = Datatype("MPI_INT", 4, np.dtype(np.int32))
+UNSIGNED = Datatype("MPI_UNSIGNED", 4, np.dtype(np.uint32))
+LONG = Datatype("MPI_LONG", 8, np.dtype(np.int64))
+UNSIGNED_LONG = Datatype("MPI_UNSIGNED_LONG", 8, np.dtype(np.uint64))
+FLOAT = Datatype("MPI_FLOAT", 4, np.dtype(np.float32))
+DOUBLE = Datatype("MPI_DOUBLE", 8, np.dtype(np.float64))
+
+
+def payload_nbytes(payload: Any) -> int:
+    """Best-effort byte size of a concrete payload.
+
+    NumPy arrays report ``nbytes`` exactly; NumPy scalars their itemsize;
+    Python ints/floats are counted as 8 bytes (one C double/long);
+    ``None`` is a zero-byte message (e.g. barrier tokens); ``bytes``-like
+    objects their length.  Anything else falls back to 8 bytes — the
+    simulator is a timing model, not a serializer.
+    """
+    if payload is None:
+        return 0
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    if isinstance(payload, np.generic):
+        return int(payload.nbytes)
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload)
+    if isinstance(payload, (int, float, bool)):
+        return 8
+    if isinstance(payload, (list, tuple)):
+        return sum(payload_nbytes(x) for x in payload)
+    if isinstance(payload, dict):
+        return sum(payload_nbytes(v) for v in payload.values())
+    return 8
+
+
+class Buffer:
+    """A message buffer: a concrete payload and/or an explicit byte count.
+
+    ``Buffer.wrap(x)`` accepts an existing :class:`Buffer`, a NumPy
+    array, a scalar or ``None`` and normalizes it.  ``Buffer.abstract(n)``
+    makes a payload-free buffer of ``n`` bytes.
+    """
+
+    __slots__ = ("payload", "nbytes")
+
+    def __init__(self, payload: Any, nbytes: Optional[int] = None):
+        self.payload = payload
+        self.nbytes = payload_nbytes(payload) if nbytes is None else int(nbytes)
+        if self.nbytes < 0:
+            raise ValueError(f"negative message size: {self.nbytes}")
+
+    @classmethod
+    def abstract(cls, nbytes: int) -> "Buffer":
+        """A buffer carrying only a size — used by modeled workloads."""
+        return cls(None, nbytes=nbytes)
+
+    @classmethod
+    def wrap(cls, value: Any, nbytes: Optional[int] = None) -> "Buffer":
+        if isinstance(value, Buffer):
+            if nbytes is not None and nbytes != value.nbytes:
+                raise ValueError("conflicting explicit size for Buffer")
+            return value
+        return cls(value, nbytes=nbytes)
+
+    @property
+    def is_abstract(self) -> bool:
+        return self.payload is None and self.nbytes > 0
+
+    def copy_payload(self) -> Any:
+        """Value-copy of the payload (messages have copy semantics)."""
+        if isinstance(self.payload, np.ndarray):
+            return self.payload.copy()
+        return self.payload
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "abstract" if self.is_abstract else type(self.payload).__name__
+        return f"Buffer({kind}, nbytes={self.nbytes})"

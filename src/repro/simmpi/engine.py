@@ -1,0 +1,337 @@
+"""Deterministic cooperative-thread simulation engine.
+
+Every MPI rank runs its per-rank program on a real Python thread, but a
+*baton* protocol guarantees that exactly one thread executes at any
+instant: the scheduler (the caller's thread) repeatedly picks the
+runnable rank with the smallest ``(virtual clock, rank)`` and hands it
+the baton; the rank runs until it blocks (e.g. an unmatched receive),
+yields, or finishes, then hands the baton back.  The result is a fully
+deterministic discrete-event simulation in which user code is ordinary
+blocking MPI-style Python — no ``yield`` infection, no data races.
+
+Virtual time: each rank owns a clock (seconds).  Point-to-point sends
+and receives advance clocks according to the :mod:`repro.simmpi.network`
+model; ``compute()``/``sleep()`` advance them explicitly.  A rank never
+observes another rank's clock directly, so causality is preserved:
+receive completion is ``max(post time, message arrival)``.
+
+Deadlock (all live ranks blocked) raises :class:`DeadlockError` with a
+per-rank state dump instead of hanging the host process.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from enum import Enum
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.simmpi.cluster import Cluster
+from repro.simmpi.errorsim import Aborted, DeadlockError, RankFailure, SimError
+from repro.simmpi.mpit import MpiToolInterface
+from repro.simmpi.network import Network
+from repro.simmpi.pml_monitoring import PmlMonitoring
+
+__all__ = ["Engine", "SimProcess", "current_process"]
+
+
+class _State(Enum):
+    NEW = "new"
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    DONE = "done"
+
+
+_tls = threading.local()
+
+
+def current_process() -> "SimProcess":
+    """The :class:`SimProcess` executing on the calling thread.
+
+    Only valid inside a rank program; library layers (communicators,
+    the monitoring API) use this to know "who is calling".
+    """
+    proc = getattr(_tls, "proc", None)
+    if proc is None:
+        raise SimError("not inside a simulated MPI process")
+    return proc
+
+
+class SimProcess:
+    """Per-rank simulation state: clock, scheduler handshake, userdata."""
+
+    __slots__ = (
+        "engine",
+        "rank",
+        "clock",
+        "state",
+        "thread",
+        "resume_evt",
+        "blocked_on",
+        "exc",
+        "result",
+        "userdata",
+        "ready_seq",
+    )
+
+    def __init__(self, engine: "Engine", rank: int):
+        self.engine = engine
+        self.rank = rank
+        self.clock = 0.0
+        self.state = _State.NEW
+        self.thread: Optional[threading.Thread] = None
+        self.resume_evt = threading.Event()
+        self.blocked_on: str = ""
+        self.exc: Optional[BaseException] = None
+        self.result: Any = None
+        self.ready_seq = 0  # invalidates stale ready-heap entries
+        # Scratch space for per-process library state (e.g. the MPI_M
+        # monitoring runtime attaches its session table here).
+        self.userdata: Dict[str, Any] = {}
+
+    # -- virtual time -----------------------------------------------------
+
+    def advance(self, seconds: float) -> None:
+        """Move this rank's clock forward by ``seconds`` of work/sleep."""
+        if seconds < 0:
+            raise ValueError("cannot advance time backwards")
+        self.clock += seconds
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SimProcess(rank={self.rank}, t={self.clock:.6g}, "
+            f"state={self.state.value})"
+        )
+
+
+class Engine:
+    """Run SPMD programs over a simulated cluster.
+
+    Parameters
+    ----------
+    cluster:
+        Machine description (topology + binding + network parameters).
+    seed:
+        Seed for the network jitter stream.
+    monitoring_overhead:
+        CPU seconds charged to a sender per message *recorded* by the
+        monitoring component (the cost the paper's Fig. 4 measures).
+        Zero when monitoring is disabled.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        seed: int = 0,
+        monitoring_overhead: float = 5.0e-8,
+    ):
+        self.cluster = cluster
+        self.network = Network(
+            cluster.topology, cluster.binding, cluster.params, seed=seed
+        )
+        self.monitoring_overhead = float(monitoring_overhead)
+        self.procs: List[SimProcess] = []
+        self.mpit = MpiToolInterface()
+        self.pml = PmlMonitoring(cluster.n_ranks, mpit=self.mpit)
+        # Shared registries used by the communicator layer; only one
+        # thread runs at a time so plain dicts are safe.
+        self.comm_registry: Dict[Any, Any] = {}
+        self.match_queues: Dict[Any, Any] = {}
+        self._next_comm_id = 0
+        self._sched_evt = threading.Event()
+        self._aborting = False
+        self._switches = 0
+        self._ready_heap: List = []  # (clock, rank, seq, proc), lazily cleaned
+        self._n_done = 0
+        self.world = None  # set by run(); apps may also build comms directly
+
+    # -- identifiers ------------------------------------------------------
+
+    @property
+    def n_ranks(self) -> int:
+        return self.cluster.n_ranks
+
+    def alloc_comm_id(self) -> int:
+        cid = self._next_comm_id
+        self._next_comm_id += 1
+        return cid
+
+    @property
+    def switches(self) -> int:
+        """Number of baton handoffs so far (a cost/diagnostic metric)."""
+        return self._switches
+
+    # -- running a program --------------------------------------------------
+
+    def run(
+        self,
+        main: Callable,
+        args: Sequence[Any] = (),
+        kwargs: Optional[Dict[str, Any]] = None,
+    ) -> List[Any]:
+        """Execute ``main(world_comm, *args, **kwargs)`` on every rank.
+
+        Returns the per-rank return values, in rank order.  Any rank
+        exception is re-raised as :class:`RankFailure`; a global hang
+        raises :class:`DeadlockError`.
+        """
+        from repro.simmpi.comm import Communicator  # local: avoid cycle
+
+        if self.procs:
+            raise SimError("Engine.run is single-shot; build a new Engine")
+        kwargs = kwargs or {}
+        self.procs = [SimProcess(self, r) for r in range(self.n_ranks)]
+        self.world = Communicator(self, list(range(self.n_ranks)))
+
+        for proc in self.procs:
+            t = threading.Thread(
+                target=self._thread_main,
+                args=(proc, main, args, kwargs),
+                name=f"simmpi-rank-{proc.rank}",
+                daemon=True,
+            )
+            proc.thread = t
+            self._set_ready(proc)
+            t.start()
+
+        try:
+            self._schedule()
+        finally:
+            self._drain()
+
+        failed = [p for p in self.procs if p.exc is not None]
+        if failed:
+            p = min(failed, key=lambda q: q.rank)
+            raise RankFailure(p.rank, p.exc) from p.exc
+        return [p.result for p in self.procs]
+
+    @property
+    def max_clock(self) -> float:
+        """Largest per-rank clock (the simulated makespan) after run()."""
+        if not self.procs:
+            return 0.0
+        return max(p.clock for p in self.procs)
+
+    def clocks(self) -> List[float]:
+        return [p.clock for p in self.procs]
+
+    # -- scheduler core ---------------------------------------------------
+
+    def _set_ready(self, proc: SimProcess) -> None:
+        """Transition a process to READY and enqueue it for scheduling."""
+        proc.state = _State.READY
+        proc.ready_seq += 1
+        heapq.heappush(self._ready_heap, (proc.clock, proc.rank, proc.ready_seq, proc))
+
+    def _pop_ready(self) -> Optional[SimProcess]:
+        heap = self._ready_heap
+        while heap:
+            _, _, seq, proc = heapq.heappop(heap)
+            if proc.state is _State.READY and proc.ready_seq == seq:
+                return proc
+        return None
+
+    def min_ready_clock(self) -> Optional[float]:
+        """Clock of the frontmost runnable rank (lazy heap cleanup)."""
+        heap = self._ready_heap
+        while heap:
+            clock, _, seq, proc = heap[0]
+            if proc.state is _State.READY and proc.ready_seq == seq:
+                return clock
+            heapq.heappop(heap)
+        return None
+
+    def _schedule(self) -> None:
+        while True:
+            if self._aborting:
+                return
+            nxt = self._pop_ready()
+            if nxt is None:
+                if self._n_done == len(self.procs):
+                    return
+                blocked = [
+                    (p.rank, f"blocked on {p.blocked_on} at t={p.clock:.6g}")
+                    for p in self.procs
+                    if p.state is _State.BLOCKED
+                ]
+                self._aborting = True
+                raise DeadlockError(blocked)
+            self._hand_baton(nxt)
+
+    def _hand_baton(self, proc: SimProcess) -> None:
+        self._switches += 1
+        proc.state = _State.RUNNING
+        self._sched_evt.clear()
+        proc.resume_evt.set()
+        self._sched_evt.wait()
+
+    def _drain(self) -> None:
+        """Unwind any live rank threads after an abort or failure."""
+        self._aborting = True
+        for proc in self.procs:
+            while proc.state is not _State.DONE:
+                self._sched_evt.clear()
+                proc.resume_evt.set()
+                self._sched_evt.wait()
+        for proc in self.procs:
+            if proc.thread is not None:
+                proc.thread.join(timeout=10.0)
+
+    # -- rank-thread side ---------------------------------------------------
+
+    def _thread_main(self, proc: SimProcess, main, args, kwargs) -> None:
+        _tls.proc = proc
+        try:
+            self._await_baton(proc)
+            proc.result = main(self.world, *args, **kwargs)
+        except Aborted:
+            pass
+        except BaseException as exc:  # noqa: BLE001 - reported via RankFailure
+            proc.exc = exc
+            self._aborting = True
+        finally:
+            proc.state = _State.DONE
+            self._n_done += 1
+            self._sched_evt.set()
+
+    def _await_baton(self, proc: SimProcess) -> None:
+        proc.resume_evt.wait()
+        proc.resume_evt.clear()
+        if self._aborting:
+            raise Aborted()
+
+    # -- primitives used by the communicator layer ---------------------------
+
+    def block(self, proc: SimProcess, reason: str) -> None:
+        """Park the calling rank until another rank calls :meth:`wake`."""
+        assert proc is current_process()
+        proc.state = _State.BLOCKED
+        proc.blocked_on = reason
+        self._sched_evt.set()
+        self._await_baton(proc)
+        proc.blocked_on = ""
+
+    def wake(self, proc: SimProcess) -> None:
+        """Mark a blocked rank runnable (called while holding the baton)."""
+        if proc.state is _State.BLOCKED:
+            self._set_ready(proc)
+
+    def maybe_yield(self, proc: SimProcess) -> None:
+        """Give way to ranks that are behind in virtual time.
+
+        Called at communication points so that shared timed resources
+        (the per-node NIC busy windows) are claimed in approximately
+        virtual-time order rather than baton order.
+        """
+        front = self.min_ready_clock()
+        if front is not None and front < proc.clock:
+            self._set_ready(proc)
+            self._sched_evt.set()
+            self._await_baton(proc)
+            proc.state = _State.RUNNING
+
+    def charge_monitoring_overhead(self, proc: SimProcess, n_records: int = 1) -> None:
+        """Charge the per-message bookkeeping cost to a sender's clock."""
+        if self.pml.enabled and self.monitoring_overhead > 0.0:
+            proc.clock += self.monitoring_overhead * n_records

@@ -1,0 +1,48 @@
+"""Exceptions raised by the simulated MPI runtime."""
+
+from __future__ import annotations
+
+__all__ = [
+    "SimError",
+    "DeadlockError",
+    "RankFailure",
+    "CommError",
+    "Aborted",
+]
+
+
+class SimError(Exception):
+    """Base class for simulator errors."""
+
+
+class DeadlockError(SimError):
+    """All live ranks are blocked: the simulated program deadlocked.
+
+    Carries a per-rank state dump to make the hang diagnosable.
+    """
+
+    def __init__(self, states):
+        self.states = states
+        lines = "\n".join(f"  rank {r}: {s}" for r, s in states)
+        super().__init__(f"deadlock: every live rank is blocked\n{lines}")
+
+
+class RankFailure(SimError):
+    """A rank's program raised; wraps the original exception."""
+
+    def __init__(self, rank: int, exc: BaseException):
+        self.rank = rank
+        self.original = exc
+        super().__init__(f"rank {rank} failed: {exc!r}")
+
+
+class CommError(SimError):
+    """Invalid communication arguments (bad rank, tag, size...)."""
+
+
+class Aborted(BaseException):
+    """Internal: unwinds rank threads when the simulation is torn down.
+
+    Derives from ``BaseException`` so user-level ``except Exception``
+    blocks cannot swallow it.
+    """

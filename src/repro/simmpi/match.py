@@ -1,0 +1,113 @@
+"""Message matching: posted-receive and unexpected-message queues.
+
+Each (communicator, destination rank) pair owns one :class:`MatchQueue`.
+A message matches a posted receive when their *contexts* are equal (user
+point-to-point traffic and each collective invocation live in disjoint
+contexts, like MPI context ids) and the receive's source/tag either
+equal the message's or are wildcards.  Matching is FIFO on both sides,
+per the MPI non-overtaking rule.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Hashable, Optional, Tuple
+
+from repro.simmpi.datatypes import Buffer
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Message", "MatchQueue"]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+@dataclass
+class Message:
+    """An in-flight (or delivered) message.
+
+    ``src``/``dst`` are ranks local to the communicator; ``arrival`` is
+    the virtual time the payload is available at the destination.
+    """
+
+    src: int
+    dst: int
+    tag: int
+    context: Hashable
+    buf: Buffer
+    arrival: float
+    category: str = "p2p"
+
+    @property
+    def payload(self) -> Any:
+        return self.buf.payload
+
+    @property
+    def nbytes(self) -> int:
+        return self.buf.nbytes
+
+
+class MatchQueue:
+    """Posted receives and unexpected messages for one (comm, dst)."""
+
+    def __init__(self) -> None:
+        self._posted: Deque[Any] = deque()  # RecvRequest objects
+        self._unexpected: Deque[Message] = deque()
+
+    @staticmethod
+    def _matches(req: Any, msg: Message) -> bool:
+        if req.context != msg.context:
+            return False
+        if req.source != ANY_SOURCE and req.source != msg.src:
+            return False
+        if req.tag != ANY_TAG and req.tag != msg.tag:
+            return False
+        return True
+
+    def deliver(self, msg: Message) -> Optional[Any]:
+        """A message arrived: bind it to the oldest matching receive.
+
+        Returns the matched receive request (already bound), or ``None``
+        if the message was queued as unexpected.
+        """
+        for i, req in enumerate(self._posted):
+            if self._matches(req, msg):
+                del self._posted[i]
+                req.bind(msg)
+                return req
+        self._unexpected.append(msg)
+        return None
+
+    def post(self, req: Any) -> bool:
+        """A receive was posted: bind the oldest matching unexpected
+        message, else enqueue the receive.  Returns True iff bound."""
+        for i, msg in enumerate(self._unexpected):
+            if self._matches(req, msg):
+                del self._unexpected[i]
+                req.bind(msg)
+                return True
+        self._posted.append(req)
+        return False
+
+    def probe(self, source: int, tag: int, context: Hashable) -> Optional[Message]:
+        """First queued unexpected message matching (source, tag, context)."""
+
+        class _Probe:
+            pass
+
+        probe = _Probe()
+        probe.source = source
+        probe.tag = tag
+        probe.context = context
+        for msg in self._unexpected:
+            if self._matches(probe, msg):
+                return msg
+        return None
+
+    @property
+    def n_posted(self) -> int:
+        return len(self._posted)
+
+    @property
+    def n_unexpected(self) -> int:
+        return len(self._unexpected)

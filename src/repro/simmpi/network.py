@@ -1,0 +1,215 @@
+"""Hierarchical Hockney-style network cost model.
+
+Every point-to-point message pays a latency ``alpha`` and a bandwidth
+term ``nbytes / bandwidth`` chosen by the *deepest topology level the
+two endpoint PUs share* — the mechanism that makes rank reordering pay
+off: after TreeMatch moves heavy-traffic pairs onto the same node or
+socket, their messages ride the cheap links.
+
+Model per message (sender at virtual time ``t``):
+
+* ``start = max(t + o_send, nic_free[src_node])`` — messages leaving a
+  node serialize on the node's single NIC (all 24 ranks of a PlaFRIM
+  node share one OmniPath port);
+* sender resumes at ``start + nbytes/bw`` (injection is synchronous);
+* the message arrives at ``start + alpha + nbytes/bw``;
+* the receiver completes at ``max(t_post, arrival) + o_recv`` (applied
+  by the engine).
+
+All terms are optionally perturbed by seeded multiplicative log-normal
+jitter so that repeated runs show the run-to-run variance the paper's
+§6.2 statistics (180 repetitions, Welch t-test) rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.simmpi.nic import NicCounters
+from repro.simmpi.topology import Topology
+
+__all__ = ["LinkParams", "NetworkParams", "Network", "plafrim_params", "ib_pair_params"]
+
+
+@dataclass(frozen=True)
+class LinkParams:
+    """One latency/bandwidth class: ``latency`` in s, ``bandwidth`` in B/s."""
+
+    latency: float
+    bandwidth: float
+
+    def __post_init__(self):
+        if self.latency < 0:
+            raise ValueError("negative latency")
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+
+
+@dataclass(frozen=True)
+class NetworkParams:
+    """Cost-model parameters.
+
+    ``links`` maps a *sharing class* to :class:`LinkParams`.  The class of
+    a message is the name of the deepest topology level its endpoints
+    share: ``"cluster"`` (different nodes), a level name such as
+    ``"node"`` or ``"socket"``, or ``"self"`` (a rank messaging itself).
+    Missing classes fall back to the next-cheaper defined one.
+    """
+
+    links: Dict[str, LinkParams] = field(default_factory=dict)
+    send_overhead: float = 2.0e-7
+    recv_overhead: float = 2.0e-7
+    nic_serialize: bool = True
+    #: Per-node effective copy bandwidth (B/s) shared by every message
+    #: touching the node's DRAM; None disables memory contention.
+    mem_bandwidth: Optional[float] = None
+    jitter: float = 0.0
+    lanes: int = 4
+
+    def link_for(self, class_name: str, topology: Topology) -> LinkParams:
+        if class_name in self.links:
+            return self.links[class_name]
+        # Fall back towards deeper (cheaper) levels: cluster -> node ->
+        # socket -> ... -> self, taking the first defined entry at or
+        # below the requested class.
+        order = ["cluster"] + topology.level_names[:-1] + ["self"]
+        if class_name not in order:
+            raise ValueError(f"unknown sharing class {class_name!r}")
+        for name in order[order.index(class_name) :]:
+            if name in self.links:
+                return self.links[name]
+        raise ValueError(f"no link parameters cover class {class_name!r}")
+
+
+def plafrim_params(jitter: float = 0.0) -> NetworkParams:
+    """The paper's main testbed: PlaFRIM, OmniPath 100 Gb/s.
+
+    Dual-socket 12-core Haswell nodes.  Bandwidths are *effective MPI
+    throughputs* (what a rank actually sustains through the full
+    software stack at large message sizes), not hardware peaks:
+
+    * inter-node messages serialize on the node's single OmniPath port
+      (NIC serialization) — with 24 ranks per node that contention is
+      where the paper's reordering gains come from;
+    * every message also occupies the node's shared DRAM copy
+      bandwidth (``mem_bandwidth``), which bounds how fast *intra*-node
+      traffic can get after reordering.
+
+    Calibrated against the paper's Fig. 5 absolute runtimes (see
+    EXPERIMENTS.md).
+    """
+    return NetworkParams(
+        links={
+            "cluster": LinkParams(latency=1.5e-6, bandwidth=3.0e9),
+            "node": LinkParams(latency=7.0e-7, bandwidth=3.0e9),
+            "socket": LinkParams(latency=3.0e-7, bandwidth=3.5e9),
+            "self": LinkParams(latency=1.0e-7, bandwidth=2.0e10),
+        },
+        mem_bandwidth=9.0e9,
+        jitter=jitter,
+    )
+
+
+def ib_pair_params(jitter: float = 0.0) -> NetworkParams:
+    """The §6.1 testbed: two nodes with Infiniband EDR (100 Gb/s)."""
+    return NetworkParams(
+        links={
+            "cluster": LinkParams(latency=1.0e-6, bandwidth=12.5e9),
+            "node": LinkParams(latency=6.0e-7, bandwidth=8.0e9),
+            "self": LinkParams(latency=1.0e-7, bandwidth=2.0e10),
+        },
+        jitter=jitter,
+    )
+
+
+class Network:
+    """Timed message transport over a :class:`Topology` and a binding."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        binding: Sequence[int],
+        params: NetworkParams,
+        seed: int = 0,
+    ):
+        self.topology = topology
+        self.binding = list(binding)
+        self.params = params
+        n_nodes = topology.n_components(topology.level_names[0])
+        self.nic = NicCounters(n_nodes, lanes=params.lanes)
+        self._nic_free = np.zeros(n_nodes, dtype=np.float64)
+        self._mem_free = np.zeros(n_nodes, dtype=np.float64)
+        self._rng = np.random.default_rng(seed)
+        self._sigma = float(params.jitter)
+
+    # -- jitter ----------------------------------------------------------
+
+    def reseed(self, seed: int) -> None:
+        """Reset the jitter stream (one seed per repetition in §6.2)."""
+        self._rng = np.random.default_rng(seed)
+
+    def _jit(self) -> float:
+        if self._sigma <= 0.0:
+            return 1.0
+        return float(np.exp(self._rng.normal(0.0, self._sigma)))
+
+    # -- the cost model ----------------------------------------------------
+
+    def sharing_class(self, src_rank: int, dst_rank: int) -> str:
+        pu_s = self.binding[src_rank]
+        pu_d = self.binding[dst_rank]
+        return self.topology.common_level_name(pu_s, pu_d)
+
+    def transfer(
+        self, src_rank: int, dst_rank: int, nbytes: int, t_send: float
+    ) -> Tuple[float, float]:
+        """Cost one message.
+
+        Returns ``(sender_done, arrival)``: the virtual time at which the
+        sender may proceed and the time the message is available at the
+        destination.  Cross-node messages serialize on the source node's
+        NIC and are charged to its hardware counters.
+        """
+        if nbytes < 0:
+            raise ValueError("negative message size")
+        cls = self.sharing_class(src_rank, dst_rank)
+        lp = self.params.link_for(cls, self.topology)
+        lat = lp.latency * self._jit()
+        bwt = (nbytes / lp.bandwidth) * self._jit()
+        ready = t_send + self.params.send_overhead
+
+        cross_node = cls == "cluster"
+        src_node = self.topology.node_of(self.binding[src_rank])
+        dst_node = self.topology.node_of(self.binding[dst_rank])
+
+        start = ready
+        if cross_node and self.params.nic_serialize:
+            start = max(start, float(self._nic_free[src_node]))
+        if self.params.mem_bandwidth and cls != "self" and nbytes > 0:
+            start = max(start, float(self._mem_free[src_node]),
+                        float(self._mem_free[dst_node]))
+
+        if cross_node and self.params.nic_serialize:
+            self._nic_free[src_node] = start + bwt
+        if self.params.mem_bandwidth and cls != "self" and nbytes > 0:
+            # Every message occupies DRAM copy bandwidth on each node it
+            # touches (once per node: single-copy shared-memory model).
+            mem_t = nbytes / self.params.mem_bandwidth
+            self._mem_free[src_node] = start + mem_t
+            if dst_node != src_node:
+                self._mem_free[dst_node] = start + mem_t
+
+        sender_done = start + bwt
+        arrival = start + lat + bwt
+
+        if cross_node:
+            self.nic.record_xmit(src_node, sender_done, nbytes)
+            self.nic.record_rcv(dst_node, arrival, nbytes)
+        return sender_done, arrival
+
+    @property
+    def recv_overhead(self) -> float:
+        return self.params.recv_overhead

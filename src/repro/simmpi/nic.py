@@ -1,0 +1,93 @@
+"""Simulated network-interface hardware counters.
+
+The paper's §6.1 experiment compares the introspection library against
+the Infiniband ``port_xmit_data`` hardware counter, which counts *in
+units of four bytes* (one per lane) — readers must multiply by the
+number of lanes (see the Mellanox note cited as [1] in the paper).
+
+:class:`NicCounters` reproduces that interface for the simulated
+cluster: every time a message crosses a node boundary the network model
+calls :meth:`record_xmit`, and any process (or a monitoring thread) can
+read the counter *as of a given virtual time*, exactly like polling the
+``/sys/class/infiniband/.../port_xmit_data`` file.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Tuple
+
+__all__ = ["NicCounters"]
+
+
+class NicCounters:
+    """Per-node transmit/receive byte counters with timestamped history."""
+
+    def __init__(self, n_nodes: int, lanes: int = 4):
+        if n_nodes < 1:
+            raise ValueError("need at least one node")
+        if lanes < 1:
+            raise ValueError("lanes must be >= 1")
+        self.n_nodes = n_nodes
+        self.lanes = lanes
+        # Per node: sorted event times and cumulative byte totals.
+        self._xmit: Dict[int, Tuple[List[float], List[int]]] = {
+            n: ([], []) for n in range(n_nodes)
+        }
+        self._rcv: Dict[int, Tuple[List[float], List[int]]] = {
+            n: ([], []) for n in range(n_nodes)
+        }
+
+    # -- recording (called by the network model) ------------------------
+
+    def record_xmit(self, node: int, time: float, nbytes: int) -> None:
+        self._record(self._xmit, node, time, nbytes)
+
+    def record_rcv(self, node: int, time: float, nbytes: int) -> None:
+        self._record(self._rcv, node, time, nbytes)
+
+    def _record(self, table, node: int, time: float, nbytes: int) -> None:
+        times, totals = table[node]
+        if times and time < times[-1]:
+            # Events are recorded in simulation order, which can differ
+            # slightly from virtual-time order; clamp to keep the
+            # cumulative series monotone (a real counter is too).
+            time = times[-1]
+        prev = totals[-1] if totals else 0
+        times.append(time)
+        totals.append(prev + int(nbytes))
+
+    # -- reading (what the experiment's sampler thread does) ------------
+
+    def port_xmit_data(self, node: int, time: float) -> int:
+        """The raw counter value at virtual ``time``, in 4-byte lane units.
+
+        Like the hardware counter, the value must be multiplied by
+        :attr:`lanes` to obtain bytes.
+        """
+        return self.xmit_bytes(node, time) // self.lanes
+
+    def xmit_bytes(self, node: int, time: float) -> int:
+        """Cumulative bytes transmitted by ``node``'s NIC up to ``time``."""
+        return self._read(self._xmit, node, time)
+
+    def rcv_bytes(self, node: int, time: float) -> int:
+        return self._read(self._rcv, node, time)
+
+    def _read(self, table, node: int, time: float) -> int:
+        if node not in table:
+            raise ValueError(f"no node {node}")
+        times, totals = table[node]
+        i = bisect.bisect_right(times, time)
+        return totals[i - 1] if i else 0
+
+    # -- introspection helpers ------------------------------------------
+
+    def xmit_events(self, node: int) -> List[Tuple[float, int]]:
+        """The full (time, cumulative bytes) transmit history of a node."""
+        times, totals = self._xmit[node]
+        return list(zip(times, totals))
+
+    def total_xmit_bytes(self, node: int) -> int:
+        _, totals = self._xmit[node]
+        return totals[-1] if totals else 0

@@ -1,0 +1,60 @@
+"""Reduction operations for the simulated MPI collectives.
+
+Operations combine two concrete payloads (NumPy arrays or scalars).
+When either operand is abstract (payload-free), the result is abstract
+with the same byte count — modeled workloads can thus run reductions
+without materializing data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.simmpi.datatypes import Buffer
+
+__all__ = ["Op", "SUM", "PROD", "MAX", "MIN", "LAND", "LOR", "BAND", "BOR", "combine"]
+
+
+@dataclass(frozen=True)
+class Op:
+    """A named, associative and commutative reduction operator."""
+
+    name: str
+    fn: Callable[[Any, Any], Any]
+
+    def __call__(self, a: Any, b: Any) -> Any:
+        return self.fn(a, b)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Op({self.name})"
+
+
+SUM = Op("MPI_SUM", lambda a, b: np.add(a, b))
+PROD = Op("MPI_PROD", lambda a, b: np.multiply(a, b))
+MAX = Op("MPI_MAX", lambda a, b: np.maximum(a, b))
+MIN = Op("MPI_MIN", lambda a, b: np.minimum(a, b))
+LAND = Op("MPI_LAND", lambda a, b: np.logical_and(a, b))
+LOR = Op("MPI_LOR", lambda a, b: np.logical_or(a, b))
+BAND = Op("MPI_BAND", lambda a, b: np.bitwise_and(a, b))
+BOR = Op("MPI_BOR", lambda a, b: np.bitwise_or(a, b))
+
+
+def combine(op: Op, a: Buffer, b: Buffer) -> Buffer:
+    """Reduce two message buffers into one.
+
+    Abstract operands stay abstract: the reduction of two n-byte
+    messages is an n-byte message regardless of content.  Mixing an
+    abstract and a concrete operand degrades to abstract (the content
+    can no longer be computed) but preserves the size.
+    """
+    if a.nbytes != b.nbytes and not (a.payload is None or b.payload is None):
+        raise ValueError(
+            f"reduction operands differ in size: {a.nbytes} vs {b.nbytes} bytes"
+        )
+    nbytes = max(a.nbytes, b.nbytes)
+    if a.payload is None or b.payload is None:
+        return Buffer.abstract(nbytes)
+    return Buffer(op(a.payload, b.payload), nbytes=nbytes)

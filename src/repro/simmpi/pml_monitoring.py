@@ -1,0 +1,151 @@
+"""The low-level monitoring component (the paper's [3], Euro-Par 2017).
+
+This is the simulated counterpart of Open MPI's ``pml_monitoring``
+component: it sits at the single choke point every point-to-point
+message passes through — *after* collectives have been decomposed —
+and maintains, for every process, per-peer message counts and byte
+totals, split into three categories:
+
+* ``p2p`` — user-issued (external) point-to-point messages,
+* ``coll`` — library-issued (internal) messages produced by the
+  decomposition of collective operations,
+* ``osc`` — one-sided communication.
+
+The activation knob mirrors ``--mca pml_monitoring_enable value``:
+
+* ``0`` — monitoring (and the component) disabled;
+* ``1`` — enabled, *without* distinction between user-issued and
+  library-issued messages (everything lands in the p2p matrices);
+* ``>= 2`` — enabled with the internal/external distinction.
+
+The matrices are exposed through MPI_T performance variables
+(:mod:`repro.simmpi.mpit`); the high-level library never touches this
+class directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.simmpi.mpit import MpiToolInterface
+
+__all__ = ["PmlMonitoring", "CATEGORIES", "PVAR_NAMES"]
+
+CATEGORIES: Tuple[str, ...] = ("p2p", "coll", "osc")
+
+#: MPI_T pvar names per category, mirroring the Open MPI component.
+PVAR_NAMES: Dict[str, Tuple[str, str]] = {
+    "p2p": ("pml_monitoring_messages_count", "pml_monitoring_messages_size"),
+    "coll": ("coll_monitoring_messages_count", "coll_monitoring_messages_size"),
+    "osc": ("osc_monitoring_messages_count", "osc_monitoring_messages_size"),
+}
+
+
+class PmlMonitoring:
+    """Per-process, per-peer communication counters."""
+
+    def __init__(self, world_size: int, mpit: Optional[MpiToolInterface] = None):
+        if world_size < 1:
+            raise ValueError("world_size must be >= 1")
+        self.world_size = world_size
+        self._mode = 0
+        # counts[cat][i, j] = messages process i sent to process j;
+        # sizes[cat][i, j] = bytes.  Row i is process i's local state —
+        # the simulator simply co-locates all rows in one array.
+        self.counts: Dict[str, np.ndarray] = {
+            c: np.zeros((world_size, world_size), dtype=np.uint64) for c in CATEGORIES
+        }
+        self.sizes: Dict[str, np.ndarray] = {
+            c: np.zeros((world_size, world_size), dtype=np.uint64) for c in CATEGORIES
+        }
+        if mpit is not None:
+            self.register(mpit)
+
+    # -- MPI_T surface ----------------------------------------------------
+
+    def register(self, mpit: MpiToolInterface) -> None:
+        """Expose the enable cvar and the count/size pvars."""
+        mpit.register_cvar(
+            "pml_monitoring_enable",
+            getter=lambda: self._mode,
+            setter=self.set_mode,
+            doc="0: disabled; 1: no internal/external distinction; >=2: distinguish",
+        )
+        for cat in CATEGORIES:
+            cname, sname = PVAR_NAMES[cat]
+            mpit.register_pvar(
+                cname,
+                reader=self._make_reader(self.counts[cat]),
+                doc=f"per-peer sent message counts ({cat})",
+            )
+            mpit.register_pvar(
+                sname,
+                reader=self._make_reader(self.sizes[cat]),
+                doc=f"per-peer sent bytes ({cat})",
+            )
+
+    @staticmethod
+    def _make_reader(matrix: np.ndarray):
+        def reader(rank: int) -> np.ndarray:
+            return matrix[rank]
+
+        return reader
+
+    # -- mode --------------------------------------------------------------
+
+    @property
+    def mode(self) -> int:
+        return self._mode
+
+    def set_mode(self, value: int) -> None:
+        value = int(value)
+        if value < 0:
+            raise ValueError("pml_monitoring_enable must be >= 0")
+        self._mode = value
+
+    @property
+    def enabled(self) -> bool:
+        return self._mode >= 1
+
+    @property
+    def distinguishes_internal(self) -> bool:
+        return self._mode >= 2
+
+    # -- the hook -------------------------------------------------------------
+
+    def record(self, src: int, dst: int, nbytes: int, category: str) -> bool:
+        """Record one sent message; returns True iff it was recorded.
+
+        Called by the communicator's PML send path for *every* message,
+        including the zero-length ones some collectives generate (the
+        count still increments — the paper warns users about exactly
+        those).
+        """
+        if self._mode == 0:
+            return False
+        if category not in CATEGORIES:
+            raise ValueError(f"unknown category {category!r}")
+        if self._mode == 1 and category == "coll":
+            # No internal/external distinction: collective-internal
+            # traffic is indistinguishable from user point-to-point.
+            category = "p2p"
+        self.counts[category][src, dst] += 1
+        self.sizes[category][src, dst] += np.uint64(nbytes)
+        return True
+
+    # -- maintenance -----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Zero all matrices (used by tests; sessions never need this)."""
+        for cat in CATEGORIES:
+            self.counts[cat][:] = 0
+            self.sizes[cat][:] = 0
+
+    def totals(self, category: str) -> Tuple[int, int]:
+        """(messages, bytes) recorded in one category, all processes."""
+        return (
+            int(self.counts[category].sum()),
+            int(self.sizes[category].sum()),
+        )

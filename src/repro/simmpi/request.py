@@ -1,0 +1,111 @@
+"""Nonblocking communication requests (isend/irecv + wait/test).
+
+Sends are *buffered-eager*: the sender pays its injection time at post
+and the request is immediately complete — the simulator provides
+unbounded buffering, so blocking sends never deadlock on a missing
+receive (matching the behaviour MPI applications rely on for small and
+medium messages).
+
+Receives complete when a matching message has *arrived* in virtual
+time: ``wait()`` advances the receiver's clock to
+``max(post clock, message arrival) + recv_overhead``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, List, Optional
+
+from repro.simmpi.errorsim import SimError
+from repro.simmpi.match import Message
+
+__all__ = ["Request", "SendRequest", "RecvRequest", "waitall"]
+
+
+class Request:
+    """Base request; subclasses define completion semantics."""
+
+    def wait(self):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def test(self) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class SendRequest(Request):
+    """An already-complete eager send."""
+
+    __slots__ = ("nbytes",)
+
+    def __init__(self, nbytes: int):
+        self.nbytes = nbytes
+
+    def wait(self) -> None:
+        return None
+
+    def test(self) -> bool:
+        return True
+
+
+class RecvRequest(Request):
+    """A posted receive; completes when a message is bound to it."""
+
+    __slots__ = ("comm", "proc", "source", "tag", "context", "_msg")
+
+    def __init__(self, comm, proc, source: int, tag: int, context: Hashable):
+        self.comm = comm
+        self.proc = proc
+        self.source = source
+        self.tag = tag
+        self.context = context
+        self._msg: Optional[Message] = None
+
+    # -- called by the match queue -------------------------------------
+
+    def bind(self, msg: Message) -> None:
+        if self._msg is not None:
+            raise SimError("receive request bound twice")
+        self._msg = msg
+        # If the poster is parked waiting for this request, make it
+        # runnable again (we hold the baton, so this is race-free).
+        self.proc.engine.wake(self.proc)
+
+    # -- caller side -------------------------------------------------------
+
+    @property
+    def matched(self) -> bool:
+        return self._msg is not None
+
+    def wait(self) -> Message:
+        """Block until matched, then synchronize the clock and return."""
+        proc = self.proc
+        engine = proc.engine
+        if proc is not engine_current(engine):
+            raise SimError("a request must be waited by the rank that posted it")
+        while self._msg is None:
+            engine.block(
+                proc,
+                f"recv(source={self.source}, tag={self.tag}, "
+                f"context={self.context!r})",
+            )
+        msg = self._msg
+        proc.clock = max(proc.clock, msg.arrival) + engine.network.recv_overhead
+        return msg
+
+    def test(self) -> bool:
+        """Non-advancing completion check (no clock movement)."""
+        return self._msg is not None
+
+
+def engine_current(engine):
+    from repro.simmpi.engine import current_process
+
+    return current_process()
+
+
+def waitall(requests: Iterable[Request]) -> List[Optional[Message]]:
+    """Wait on every request, in order; returns received messages
+    (``None`` for send requests)."""
+    out: List[Optional[Message]] = []
+    for req in requests:
+        out.append(req.wait())
+    return out

@@ -1,0 +1,147 @@
+"""Post-mortem message tracing (the EZtrace-style comparator, §2).
+
+The paper contrasts its *introspection* library with trace-based tools
+(EZtrace, DUMPI, mpiP): those capture every message into per-process
+files for **post-mortem, static analysis** — the program cannot query
+its own behaviour at runtime.  This module implements that class of
+tool on the simulator so the repository can demonstrate both
+approaches: a :class:`MessageTracer` hooks the same PML choke point the
+monitoring component uses, records one event per message, and offers
+the classic offline reductions (per-pair matrices, timelines, per-rank
+summaries).
+
+Enable before ``Engine.run``::
+
+    engine = Engine(cluster)
+    tracer = MessageTracer.install(engine)
+    engine.run(program)
+    matrix = tracer.size_matrix()          # post-mortem only!
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["TraceEvent", "MessageTracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One point-to-point message, as a trace record."""
+
+    time: float  # sender's virtual clock at the send
+    src: int  # world ranks
+    dst: int
+    nbytes: int
+    category: str  # p2p | coll | osc
+
+
+class MessageTracer:
+    """Record every message that crosses the PML layer.
+
+    Unlike monitoring sessions, the tracer has no notion of scope or
+    introspection: it sees everything from install to the end of the
+    run and is meant to be queried *after* ``Engine.run`` returns.
+    """
+
+    def __init__(self, world_size: int):
+        self.world_size = world_size
+        self.events: List[TraceEvent] = []
+
+    # -- installation -----------------------------------------------------
+
+    @classmethod
+    def install(cls, engine) -> "MessageTracer":
+        """Wrap the engine's pml ``record`` hook; tracing is
+        independent of the monitoring mode (it sees messages even when
+        ``pml_monitoring_enable`` is 0)."""
+        tracer = cls(engine.n_ranks)
+        pml = engine.pml
+        original = pml.record
+
+        def record(src: int, dst: int, nbytes: int, category: str) -> bool:
+            from repro.simmpi.engine import current_process
+
+            tracer.events.append(TraceEvent(
+                time=current_process().clock,
+                src=src,
+                dst=dst,
+                nbytes=int(nbytes),
+                category=category,
+            ))
+            return original(src, dst, nbytes, category)
+
+        pml.record = record
+        return tracer
+
+    # -- offline reductions ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def count_matrix(self, category: Optional[str] = None) -> np.ndarray:
+        m = np.zeros((self.world_size, self.world_size), dtype=np.int64)
+        for e in self.events:
+            if category is None or e.category == category:
+                m[e.src, e.dst] += 1
+        return m
+
+    def size_matrix(self, category: Optional[str] = None) -> np.ndarray:
+        m = np.zeros((self.world_size, self.world_size), dtype=np.int64)
+        for e in self.events:
+            if category is None or e.category == category:
+                m[e.src, e.dst] += e.nbytes
+        return m
+
+    def timeline(self, bin_seconds: float) -> Tuple[np.ndarray, np.ndarray]:
+        """(bin end times, bytes per bin) over the whole run."""
+        if not self.events:
+            return np.array([]), np.array([], dtype=np.int64)
+        t_end = max(e.time for e in self.events)
+        n_bins = int(t_end / bin_seconds) + 1
+        vols = np.zeros(n_bins, dtype=np.int64)
+        for e in self.events:
+            vols[int(e.time / bin_seconds)] += e.nbytes
+        times = (np.arange(n_bins) + 1) * bin_seconds
+        return times, vols
+
+    def per_rank_sent(self) -> np.ndarray:
+        out = np.zeros(self.world_size, dtype=np.int64)
+        for e in self.events:
+            out[e.src] += e.nbytes
+        return out
+
+    def filtered(self, predicate: Callable[[TraceEvent], bool]) -> List[TraceEvent]:
+        return [e for e in self.events if predicate(e)]
+
+    # -- persistence (per-process trace files, like EZtrace) ----------------
+
+    def dump(self, path: str) -> None:
+        """One line per event: ``time src dst nbytes category``."""
+        with open(path, "w", encoding="ascii") as fh:
+            fh.write("# simmpi message trace\n")
+            fh.write(f"# world_size={self.world_size} events={len(self.events)}\n")
+            for e in self.events:
+                fh.write(f"{e.time:.9f} {e.src} {e.dst} {e.nbytes} {e.category}\n")
+
+    @classmethod
+    def load(cls, path: str) -> "MessageTracer":
+        events = []
+        world_size = 0
+        with open(path, "r", encoding="ascii") as fh:
+            for line in fh:
+                line = line.strip()
+                if line.startswith("#"):
+                    if "world_size=" in line:
+                        world_size = int(line.split("world_size=")[1].split()[0])
+                    continue
+                t, src, dst, nbytes, cat = line.split()
+                events.append(TraceEvent(float(t), int(src), int(dst),
+                                         int(nbytes), cat))
+        tracer = cls(world_size or (max(max(e.src, e.dst) for e in events) + 1
+                                    if events else 1))
+        tracer.events = events
+        return tracer

@@ -1,0 +1,164 @@
+"""Tests for the stencil app and the micro-benchmarks."""
+
+import numpy as np
+import pytest
+
+from repro.apps.microbench import GroupBenchResult, collective_kernel, \
+    grouped_allgather_benchmark
+from repro.apps.stencil import (
+    StencilConfig,
+    process_grid,
+    run_stencil,
+    stencil_iteration,
+    stencil_setup,
+)
+from repro.simmpi import Cluster, Engine, RankFailure, Topology
+from tests.conftest import run_spmd
+
+
+class TestProcessGrid:
+    @pytest.mark.parametrize("p,expected", [
+        (1, (1, 1)), (4, (2, 2)), (6, (2, 3)), (8, (2, 4)), (12, (3, 4)),
+    ])
+    def test_near_square(self, p, expected):
+        assert process_grid(p) == expected
+
+
+def sequential_jacobi(fields, pr, pc, steps, periodic=False):
+    """Reference: assemble the global grid, run the same sweeps."""
+    t = fields[0].shape[0] - 2
+    H, W = pr * t, pc * t
+    g = np.zeros((H + 2, W + 2))
+    for r in range(pr):
+        for c in range(pc):
+            g[1 + r * t : 1 + (r + 1) * t, 1 + c * t : 1 + (c + 1) * t] = \
+                fields[r * pc + c][1:-1, 1:-1]
+    for _ in range(steps):
+        inner = 0.25 * (g[:-2, 1:-1] + g[2:, 1:-1] + g[1:-1, :-2] + g[1:-1, 2:])
+        g[1:-1, 1:-1] = inner
+    return g
+
+
+class TestStencilNumerics:
+    def test_matches_sequential_reference(self):
+        cfg = StencilConfig(tile=8, numeric=True)
+        steps = 4
+
+        def prog(comm):
+            state = stencil_setup(comm, cfg)
+            initial = state.field.copy()
+            for it in range(steps):
+                stencil_iteration(comm, state, it)
+            return (initial, state.field.copy(), state.my_r, state.my_c)
+
+        results, _ = run_spmd(prog, n_ranks=4)
+        pr, pc = process_grid(4)
+        ref = sequential_jacobi([r[0] for r in results], pr, pc, steps)
+        t = cfg.tile
+        for initial, final, r, c in results:
+            expected = ref[1 + r * t : 1 + (r + 1) * t,
+                           1 + c * t : 1 + (c + 1) * t]
+            assert np.allclose(final[1:-1, 1:-1], expected)
+
+    def test_run_stencil_stats(self):
+        cfg = StencilConfig(tile=8)
+
+        def prog(comm):
+            return run_stencil(comm, cfg, iterations=3)
+
+        results, _ = run_spmd(prog, n_ranks=4)
+        s = results[0]
+        assert s["iterations"] == 3
+        assert s["time"] > s["comm_time"] > 0
+        assert s["checksum"] != 0
+
+    def test_modeled_mode_runs(self):
+        cfg = StencilConfig(tile=64, numeric=False)
+
+        def prog(comm):
+            return run_stencil(comm, cfg, iterations=2)
+
+        results, _ = run_spmd(prog, n_ranks=6)
+        assert results[0]["checksum"] == 0
+        assert results[0]["comm_time"] > 0
+
+    def test_periodic_wraps(self):
+        cfg = StencilConfig(tile=4, numeric=True, periodic=True)
+
+        def prog(comm):
+            state = stencil_setup(comm, cfg)
+            assert all(n >= 0 for n in state.neighbours.values())
+            stencil_iteration(comm, state, 0)
+            return float(state.field.sum())
+
+        results, _ = run_spmd(prog, n_ranks=4)
+        assert all(np.isfinite(r) for r in results)
+
+
+class TestCollectiveKernel:
+    def test_reduce_and_bcast_elapse_time(self):
+        def prog(comm):
+            t_r = collective_kernel(comm, "reduce", 10_000)
+            t_b = collective_kernel(comm, "bcast", 10_000)
+            return (t_r, t_b)
+
+        results, _ = run_spmd(prog, n_ranks=8)
+        assert all(tr > 0 and tb > 0 for tr, tb in results)
+
+    def test_unknown_op(self):
+        def prog(comm):
+            collective_kernel(comm, "gatherify", 10)
+
+        with pytest.raises(RankFailure):
+            run_spmd(prog, n_ranks=2)
+
+
+class TestGroupedAllgather:
+    def test_gain_definition(self):
+        res = GroupBenchResult(t1=10.0, t2=1.0, t3=4.0, group_rank=0,
+                               group_size=8)
+        assert res.gain_percent == pytest.approx(50.0)
+        assert GroupBenchResult(0.0, 1.0, 1.0, 0, 8).gain_percent == 0.0
+
+    def test_groups_are_consecutive_blocks(self):
+        cluster = Cluster.plafrim(2, binding="rr")
+        engine = Engine(cluster)
+
+        def prog(comm):
+            res = grouped_allgather_benchmark(comm, group_size=8, n_ints=10,
+                                              iterations=2)
+            return (res.group_rank, res.group_size)
+
+        results = engine.run(prog)
+        assert results[0] == (0, 8)
+        assert results[7] == (7, 8)
+        assert results[8] == (0, 8)
+
+    def test_indivisible_group_size_rejected(self):
+        def prog(comm):
+            grouped_allgather_benchmark(comm, group_size=3, n_ints=1,
+                                        iterations=1)
+
+        with pytest.raises(RankFailure):
+            run_spmd(prog, n_ranks=4)
+
+    def test_iteration_scaling_consistency(self):
+        """Scaled t1/t3 must equal the unscaled measurement of the same
+        iteration count (the workload is perfectly periodic)."""
+        cluster = Cluster.plafrim(2, binding="rr")
+
+        def prog(comm):
+            res = grouped_allgather_benchmark(
+                comm, group_size=8, n_ints=1000, iterations=20,
+                measure_iterations=20)
+            return res.t1
+
+        def prog_scaled(comm):
+            res = grouped_allgather_benchmark(
+                comm, group_size=8, n_ints=1000, iterations=20,
+                measure_iterations=10)
+            return res.t1
+
+        full = Engine(Cluster.plafrim(2, binding="rr")).run(prog)[0]
+        scaled = Engine(Cluster.plafrim(2, binding="rr")).run(prog_scaled)[0]
+        assert scaled == pytest.approx(full, rel=0.05)

@@ -1,0 +1,30 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simmpi import Cluster, Engine, Topology
+
+
+def run_spmd(program, n_ranks=4, topology=None, binding="packed", params=None,
+             seed=0, monitoring_overhead=5.0e-8, args=()):
+    """Run a per-rank program on a small simulated cluster; returns
+    (per-rank results, engine)."""
+    if topology is None:
+        topology = Topology([("node", 2), ("socket", 2), ("core", 4)])
+    cluster = Cluster(topology, n_ranks, binding=binding, params=params, seed=seed)
+    engine = Engine(cluster, seed=seed, monitoring_overhead=monitoring_overhead)
+    results = engine.run(program, args=args)
+    return results, engine
+
+
+@pytest.fixture
+def small_topology():
+    return Topology([("node", 2), ("socket", 2), ("core", 4)])
+
+
+@pytest.fixture
+def plafrim2():
+    """The paper's smallest setup: 2 nodes × 24 cores."""
+    return Cluster.plafrim(2)

@@ -1,0 +1,131 @@
+"""Edge cases of the procedural API: error translation, sentinels,
+buffer conventions."""
+
+import numpy as np
+import pytest
+
+from repro.core import api as mapi
+from repro.core.constants import ErrorCode, Flags
+from repro.core.session import MonitoringRuntime
+from tests.conftest import run_spmd
+
+E = ErrorCode
+
+
+class TestErrorTranslation:
+    def test_mpit_failure_becomes_mpit_fail(self):
+        """Breaking the MPI_T layer under the library surfaces as
+        MPI_M_MPIT_FAIL, not a Python exception."""
+
+        def prog(comm):
+            mapi.mpi_m_init()
+            _, msid = mapi.mpi_m_start(comm)
+            mapi.mpi_m_suspend(msid)
+            rt = MonitoringRuntime.of(comm._current())
+            rt._pvar_session.free()  # sabotage the MPI_T session
+            code = mapi.mpi_m_continue(msid)  # needs a pvar snapshot
+            return code
+
+        results, _ = run_spmd(prog, n_ranks=1)
+        assert results[0] == E.MPI_M_MPIT_FAIL
+
+    def test_codes_not_exceptions_for_user_errors(self):
+        def prog(comm):
+            # None of these should raise in the procedural API.
+            codes = [
+                mapi.mpi_m_suspend(object()),
+                mapi.mpi_m_finalize(),
+            ]
+            return codes
+
+        results, _ = run_spmd(prog, n_ranks=1)
+        assert results[0] == [E.MPI_M_MISSING_INIT, E.MPI_M_MISSING_INIT]
+
+
+class TestOutputConventions:
+    def test_get_data_flags_default_all(self):
+        def prog(comm):
+            mapi.mpi_m_init()
+            _, msid = mapi.mpi_m_start(comm)
+            if comm.rank == 0:
+                comm.send(b"xx", dest=1)
+            elif comm.rank == 1:
+                comm.recv(source=0)
+            comm.barrier()
+            mapi.mpi_m_suspend(msid)
+            _, counts, _ = mapi.mpi_m_get_data(msid)  # ALL_COMM default
+            mapi.mpi_m_free(msid)
+            mapi.mpi_m_finalize()
+            return int(counts.sum())
+
+        results, _ = run_spmd(prog, n_ranks=2)
+        assert results[0] >= 2  # the p2p message and the barrier token
+
+    def test_allgather_into_preallocated_matrix(self):
+        def prog(comm):
+            mapi.mpi_m_init()
+            _, msid = mapi.mpi_m_start(comm)
+            comm.barrier()
+            mapi.mpi_m_suspend(msid)
+            n = comm.size
+            buf = np.zeros(n * n, dtype=np.uint64)
+            err, out, _ = mapi.mpi_m_allgather_data(msid, matrix_counts=buf)
+            mapi.mpi_m_free(msid)
+            mapi.mpi_m_finalize()
+            return (err, out is buf, int(buf.sum()))
+
+        results, _ = run_spmd(prog, n_ranks=4)
+        err, same, total = results[0]
+        assert err == E.MPI_SUCCESS
+        assert same
+        assert total == 4 * 2  # dissemination barrier: 2 rounds x 4 ranks
+
+    def test_session_on_subcomm_only_members_can_use(self):
+        def prog(comm):
+            mapi.mpi_m_init()
+            sub = comm.split(color=0 if comm.rank < 2 else 1, key=comm.rank)
+            _, msid = mapi.mpi_m_start(sub)
+            mapi.mpi_m_suspend(msid)
+            err, counts, _ = mapi.mpi_m_get_data(msid)
+            mapi.mpi_m_free(msid)
+            mapi.mpi_m_finalize()
+            return len(counts)
+
+        results, _ = run_spmd(prog, n_ranks=4)
+        assert results == [2, 2, 2, 2]
+
+
+class TestUnsignedLongSemantics:
+    def test_counters_are_uint64(self):
+        """§4.1: data is stored in unsigned long arrays."""
+
+        def prog(comm):
+            mapi.mpi_m_init()
+            _, msid = mapi.mpi_m_start(comm)
+            if comm.rank == 0:
+                comm.send(None, dest=1, nbytes=123)
+            elif comm.rank == 1:
+                comm.recv(source=0)
+            mapi.mpi_m_suspend(msid)
+            _, counts, sizes = mapi.mpi_m_get_data(msid)
+            mapi.mpi_m_free(msid)
+            mapi.mpi_m_finalize()
+            return (counts.dtype.str, sizes.dtype.str)
+
+        results, _ = run_spmd(prog, n_ranks=2)
+        assert results[0] == ("<u8", "<u8")
+
+
+class TestCliEntryPoint:
+    def test_fig2_via_main(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "introspection" in out
+
+    def test_bad_experiment_rejected(self):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["fig99"])

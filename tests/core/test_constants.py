@@ -1,0 +1,85 @@
+"""Tests for flags, sentinels and error-code plumbing."""
+
+import pytest
+
+from repro.core.constants import (
+    Flags,
+    MPI_M_ALL_COMM,
+    MPI_M_ALL_MSID,
+    MPI_M_COLL_ONLY,
+    MPI_M_DATA_IGNORE,
+    MPI_M_INT_IGNORE,
+    MPI_M_OSC_ONLY,
+    MPI_M_P2P_ONLY,
+    ErrorCode,
+    flags_to_categories,
+    format_flags,
+)
+from repro.core.errors import (
+    InvalidRoot,
+    MonitoringError,
+    error_class,
+    raise_for_code,
+)
+
+
+def test_all_comm_is_union():
+    assert MPI_M_ALL_COMM == MPI_M_P2P_ONLY | MPI_M_COLL_ONLY | MPI_M_OSC_ONLY
+
+
+def test_flags_to_categories():
+    assert flags_to_categories(Flags.P2P_ONLY) == ("p2p",)
+    assert flags_to_categories(Flags.COLL_ONLY) == ("coll",)
+    assert flags_to_categories(Flags.OSC_ONLY) == ("osc",)
+    assert set(flags_to_categories(Flags.ALL_COMM)) == {"p2p", "coll", "osc"}
+    assert flags_to_categories(Flags.P2P_ONLY | Flags.OSC_ONLY) == ("p2p", "osc")
+
+
+def test_empty_flags_rejected():
+    with pytest.raises(ValueError):
+        flags_to_categories(0)
+
+
+def test_format_flags():
+    assert format_flags(Flags.ALL_COMM) == "ALL_COMM"
+    assert format_flags(Flags.P2P_ONLY) == "P2P_ONLY"
+    assert format_flags(Flags.P2P_ONLY | Flags.COLL_ONLY) == "P2P_ONLY|COLL_ONLY"
+
+
+def test_sentinels_are_unique_and_named():
+    assert repr(MPI_M_ALL_MSID) == "MPI_M_ALL_MSID"
+    assert repr(MPI_M_DATA_IGNORE) == "MPI_M_DATA_IGNORE"
+    assert repr(MPI_M_INT_IGNORE) == "MPI_M_INT_IGNORE"
+    assert MPI_M_ALL_MSID is not MPI_M_DATA_IGNORE
+
+
+def test_error_codes_complete():
+    names = {e.name for e in ErrorCode}
+    expected = {
+        "MPI_SUCCESS",
+        "MPI_M_INTERNAL_FAIL",
+        "MPI_M_MPIT_FAIL",
+        "MPI_M_MISSING_INIT",
+        "MPI_M_SESSION_STILL_ACTIVE",
+        "MPI_M_SESSION_NOT_SUSPENDED",
+        "MPI_M_INVALID_MSID",
+        "MPI_M_SESSION_OVERFLOW",
+        "MPI_M_MULTIPLE_CALL",
+        "MPI_M_INVALID_ROOT",
+    }
+    assert names == expected
+
+
+def test_error_class_mapping_roundtrip():
+    for code in ErrorCode:
+        if code is ErrorCode.MPI_SUCCESS:
+            continue
+        cls = error_class(code)
+        assert issubclass(cls, MonitoringError)
+        assert cls.code == code
+
+
+def test_raise_for_code():
+    raise_for_code(ErrorCode.MPI_SUCCESS)  # no-op
+    with pytest.raises(InvalidRoot):
+        raise_for_code(ErrorCode.MPI_M_INVALID_ROOT, "bad root")

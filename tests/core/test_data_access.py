@@ -1,0 +1,333 @@
+"""Tests for MPI_M data accessors: correctness of the recorded matrices."""
+
+import numpy as np
+import pytest
+
+from repro.core import api as mapi
+from repro.core.constants import (
+    MPI_M_DATA_IGNORE,
+    ErrorCode,
+    Flags,
+)
+from repro.simmpi import SUM
+from tests.conftest import run_spmd
+
+E = ErrorCode
+
+
+def _monitored(prog_body, n_ranks=4, flags=Flags.ALL_COMM, comm_selector=None):
+    """Run prog_body under a session; return per-rank (counts, sizes)."""
+
+    def prog(comm):
+        mapi.mpi_m_init()
+        target = comm if comm_selector is None else comm_selector(comm)
+        err, msid = mapi.mpi_m_start(target)
+        assert err == E.MPI_SUCCESS
+        prog_body(comm, target)
+        mapi.mpi_m_suspend(msid)
+        err, counts, sizes = mapi.mpi_m_get_data(msid, flags=flags)
+        assert err == E.MPI_SUCCESS
+        mapi.mpi_m_free(msid)
+        mapi.mpi_m_finalize()
+        return counts.tolist(), sizes.tolist()
+
+    results, _ = run_spmd(prog, n_ranks=n_ranks)
+    return results
+
+
+class TestGetData:
+    def test_p2p_counts_and_sizes(self):
+        def body(comm, target):
+            if comm.rank == 0:
+                comm.send(b"12345678", dest=2, tag=1)
+                comm.send(b"12", dest=2, tag=2)
+                comm.send(b"1", dest=1, tag=1)
+            elif comm.rank == 1:
+                comm.recv(source=0)
+            elif comm.rank == 2:
+                comm.recv(source=0, tag=1)
+                comm.recv(source=0, tag=2)
+
+        results = _monitored(body, flags=Flags.P2P_ONLY)
+        counts0, sizes0 = results[0]
+        assert counts0 == [0, 1, 2, 0]
+        assert sizes0 == [0, 1, 10, 0]
+        assert results[1][0] == [0, 0, 0, 0]  # rank 1 sent nothing
+
+    def test_rows_are_send_side(self):
+        def body(comm, target):
+            if comm.rank == 3:
+                comm.send(b"xy", dest=0)
+            elif comm.rank == 0:
+                comm.recv(source=3)
+
+        results = _monitored(body)
+        assert results[3][1] == [2, 0, 0, 0]
+        assert results[0][1] == [0, 0, 0, 0]  # receives are not "sent"
+
+    def test_flags_select_categories(self):
+        def body(comm, target):
+            if comm.rank == 0:
+                comm.send(b"abcd", dest=1)
+            elif comm.rank == 1:
+                comm.recv(source=0)
+            comm.bcast(b"zz" if comm.rank == 0 else None, root=0,
+                       algorithm="flat")
+
+        p2p = _monitored(body, flags=Flags.P2P_ONLY)
+        coll = _monitored(body, flags=Flags.COLL_ONLY)
+        both = _monitored(body, flags=Flags.P2P_ONLY | Flags.COLL_ONLY)
+        assert sum(p2p[0][1]) == 4
+        assert sum(coll[0][1]) == 6  # 2 bytes to each of 3 ranks
+        assert sum(both[0][1]) == 10
+
+    def test_data_ignore_sentinels(self):
+        def prog(comm):
+            mapi.mpi_m_init()
+            _, msid = mapi.mpi_m_start(comm)
+            mapi.mpi_m_suspend(msid)
+            err, counts, sizes = mapi.mpi_m_get_data(
+                msid, msg_counts=MPI_M_DATA_IGNORE, msg_sizes=MPI_M_DATA_IGNORE
+            )
+            mapi.mpi_m_free(msid)
+            mapi.mpi_m_finalize()
+            return (err, counts, sizes)
+
+        results, _ = run_spmd(prog, n_ranks=2)
+        assert results[0] == (E.MPI_SUCCESS, None, None)
+
+    def test_preallocated_output_filled_in_place(self):
+        def prog(comm):
+            mapi.mpi_m_init()
+            _, msid = mapi.mpi_m_start(comm)
+            if comm.rank == 0:
+                comm.send(b"123", dest=1)
+            elif comm.rank == 1:
+                comm.recv(source=0)
+            mapi.mpi_m_suspend(msid)
+            buf_counts = np.zeros(comm.size, dtype=np.uint64)
+            buf_sizes = np.zeros(comm.size, dtype=np.uint64)
+            err, c, s = mapi.mpi_m_get_data(msid, buf_counts, buf_sizes)
+            mapi.mpi_m_free(msid)
+            mapi.mpi_m_finalize()
+            return (err, c is buf_counts, buf_sizes.tolist())
+
+        results, _ = run_spmd(prog, n_ranks=2)
+        err, same_obj, sizes = results[0]
+        assert err == E.MPI_SUCCESS
+        assert same_obj
+        assert sizes == [0, 3]
+
+    def test_cross_communicator_capture(self):
+        """Paper §4.1: a session on the even/odd split records traffic
+        between its members even when it travels on MPI_COMM_WORLD."""
+
+        def body(comm, target):
+            if comm.rank == 0:
+                comm.send(b"x" * 11, dest=2)  # world comm, both even
+            elif comm.rank == 2:
+                comm.recv(source=0)
+
+        results = _monitored(
+            body,
+            n_ranks=4,
+            flags=Flags.P2P_ONLY,
+            comm_selector=lambda comm: comm.split(comm.rank % 2, comm.rank),
+        )
+        # Rank 0's row in the *sub*-communicator indexing: member 1 is
+        # world rank 2.
+        assert results[0][1] == [0, 11]
+
+    def test_non_member_traffic_excluded(self):
+        def body(comm, target):
+            if comm.rank == 0:
+                comm.send(b"y" * 5, dest=1)  # rank 1 is odd: not a member
+            elif comm.rank == 1:
+                comm.recv(source=0)
+
+        results = _monitored(
+            body,
+            n_ranks=4,
+            flags=Flags.P2P_ONLY,
+            comm_selector=lambda comm: comm.split(comm.rank % 2, comm.rank),
+        )
+        assert results[0][1] == [0, 0]
+
+
+class TestGatheredMatrices:
+    def _ring_traffic(self, comm, target):
+        me, n = comm.rank, comm.size
+        comm.sendrecv(bytes(me + 1), dest=(me + 1) % n, source=(me - 1) % n)
+
+    def test_allgather_data_full_matrix(self):
+        def prog(comm):
+            mapi.mpi_m_init()
+            _, msid = mapi.mpi_m_start(comm)
+            self._ring_traffic(comm, comm)
+            mapi.mpi_m_suspend(msid)
+            err, cmat, smat = mapi.mpi_m_allgather_data(msid, flags=Flags.P2P_ONLY)
+            mapi.mpi_m_free(msid)
+            mapi.mpi_m_finalize()
+            n = comm.size
+            return (err, cmat.reshape(n, n).tolist(), smat.reshape(n, n).tolist())
+
+        results, _ = run_spmd(prog, n_ranks=4)
+        err, cmat, smat = results[0]
+        assert err == E.MPI_SUCCESS
+        for i in range(4):
+            assert cmat[i][(i + 1) % 4] == 1
+            assert smat[i][(i + 1) % 4] == i + 1
+        # Every rank received the same matrix.
+        assert all(r[1] == cmat for r in results)
+
+    def test_rootgather_only_root_receives(self):
+        def prog(comm):
+            mapi.mpi_m_init()
+            _, msid = mapi.mpi_m_start(comm)
+            self._ring_traffic(comm, comm)
+            mapi.mpi_m_suspend(msid)
+            err, cmat, smat = mapi.mpi_m_rootgather_data(
+                msid, 2, flags=Flags.P2P_ONLY
+            )
+            mapi.mpi_m_free(msid)
+            mapi.mpi_m_finalize()
+            return (err, cmat is None, smat is None)
+
+        results, _ = run_spmd(prog, n_ranks=4)
+        assert results[2] == (E.MPI_SUCCESS, False, False)
+        for r in (0, 1, 3):
+            assert results[r] == (E.MPI_SUCCESS, True, True)
+
+    def test_gather_matches_allgather(self):
+        def prog(comm):
+            mapi.mpi_m_init()
+            _, msid = mapi.mpi_m_start(comm)
+            self._ring_traffic(comm, comm)
+            mapi.mpi_m_suspend(msid)
+            _, ag_c, ag_s = mapi.mpi_m_allgather_data(msid, flags=Flags.P2P_ONLY)
+            _, rg_c, rg_s = mapi.mpi_m_rootgather_data(msid, 0,
+                                                       flags=Flags.P2P_ONLY)
+            mapi.mpi_m_free(msid)
+            mapi.mpi_m_finalize()
+            if comm.rank == 0:
+                return (np.array_equal(ag_c, rg_c), np.array_equal(ag_s, rg_s))
+            return None
+
+        results, _ = run_spmd(prog, n_ranks=4)
+        assert results[0] == (True, True)
+
+
+class TestResetAndContinue:
+    def test_reset_zeroes_data(self):
+        def prog(comm):
+            mapi.mpi_m_init()
+            _, msid = mapi.mpi_m_start(comm)
+            if comm.rank == 0:
+                comm.send(b"123", dest=1)
+            elif comm.rank == 1:
+                comm.recv(source=0)
+            mapi.mpi_m_suspend(msid)
+            mapi.mpi_m_reset(msid)
+            _, counts, sizes = mapi.mpi_m_get_data(msid)
+            mapi.mpi_m_free(msid)
+            mapi.mpi_m_finalize()
+            return (counts.sum(), sizes.sum())
+
+        results, _ = run_spmd(prog, n_ranks=2)
+        assert results[0] == (0, 0)
+
+    def test_continue_accumulates(self):
+        def prog(comm):
+            mapi.mpi_m_init()
+            _, msid = mapi.mpi_m_start(comm)
+            if comm.rank == 0:
+                comm.send(b"aa", dest=1)
+            elif comm.rank == 1:
+                comm.recv(source=0)
+            mapi.mpi_m_suspend(msid)
+            mapi.mpi_m_continue(msid)
+            if comm.rank == 0:
+                comm.send(b"bbb", dest=1)
+            elif comm.rank == 1:
+                comm.recv(source=0)
+            mapi.mpi_m_suspend(msid)
+            _, counts, sizes = mapi.mpi_m_get_data(msid, flags=Flags.P2P_ONLY)
+            mapi.mpi_m_free(msid)
+            mapi.mpi_m_finalize()
+            return (int(counts[1]), int(sizes[1]))
+
+        results, _ = run_spmd(prog, n_ranks=2)
+        assert results[0] == (2, 5)
+
+    def test_paused_traffic_not_recorded(self):
+        def prog(comm):
+            mapi.mpi_m_init()
+            _, msid = mapi.mpi_m_start(comm)
+            mapi.mpi_m_suspend(msid)
+            if comm.rank == 0:
+                comm.send(b"hidden!", dest=1)  # while suspended
+            elif comm.rank == 1:
+                comm.recv(source=0)
+            mapi.mpi_m_continue(msid)
+            mapi.mpi_m_suspend(msid)
+            _, counts, sizes = mapi.mpi_m_get_data(msid, flags=Flags.P2P_ONLY)
+            mapi.mpi_m_free(msid)
+            mapi.mpi_m_finalize()
+            return int(sizes.sum())
+
+        results, _ = run_spmd(prog, n_ranks=2)
+        assert results[0] == 0
+
+
+class TestOverlappingSessions:
+    def test_independent_overlap(self):
+        """Paper §4.5: one session per collective distinguishes them."""
+
+        def prog(comm):
+            mapi.mpi_m_init()
+            _, outer = mapi.mpi_m_start(comm)
+            comm.bcast(b"1111" if comm.rank == 0 else None, root=0,
+                       algorithm="flat")
+            _, inner = mapi.mpi_m_start(comm)
+            comm.bcast(b"22" if comm.rank == 0 else None, root=0,
+                       algorithm="flat")
+            mapi.mpi_m_suspend(inner)
+            comm.bcast(b"3" if comm.rank == 0 else None, root=0,
+                       algorithm="flat")
+            mapi.mpi_m_suspend(outer)
+            _, _, inner_sizes = mapi.mpi_m_get_data(inner, flags=Flags.COLL_ONLY)
+            _, _, outer_sizes = mapi.mpi_m_get_data(outer, flags=Flags.COLL_ONLY)
+            mapi.mpi_m_free(inner)
+            mapi.mpi_m_free(outer)
+            mapi.mpi_m_finalize()
+            return (int(inner_sizes.sum()), int(outer_sizes.sum()))
+
+        results, _ = run_spmd(prog, n_ranks=3)
+        inner, outer = results[0]
+        assert inner == 2 * 2  # only the second bcast (2 bytes × 2 peers)
+        assert outer == (4 + 2 + 1) * 2  # all three
+
+    def test_sessions_on_different_comms(self):
+        def prog(comm):
+            mapi.mpi_m_init()
+            sub = comm.split(color=comm.rank % 2, key=comm.rank)
+            _, world_s = mapi.mpi_m_start(comm)
+            _, sub_s = mapi.mpi_m_start(sub)
+            if comm.rank == 0:
+                comm.send(b"even", dest=2)
+                comm.send(b"odd!!", dest=1)
+            elif comm.rank in (1, 2):
+                comm.recv(source=0)
+            mapi.mpi_m_suspend(world_s)
+            mapi.mpi_m_suspend(sub_s)
+            _, _, world_sizes = mapi.mpi_m_get_data(world_s, flags=Flags.P2P_ONLY)
+            _, _, sub_sizes = mapi.mpi_m_get_data(sub_s, flags=Flags.P2P_ONLY)
+            mapi.mpi_m_free(world_s)
+            mapi.mpi_m_free(sub_s)
+            mapi.mpi_m_finalize()
+            return (int(world_sizes.sum()), int(sub_sizes.sum()))
+
+        results, _ = run_spmd(prog, n_ranks=4)
+        world_total, sub_total = results[0]
+        assert world_total == 4 + 5  # both messages
+        assert sub_total == 4  # only the even-pair message

@@ -1,0 +1,124 @@
+"""Tests for MPI_M_flush / MPI_M_rootflush files and the parser."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import api as mapi
+from repro.core.constants import ErrorCode, Flags
+from repro.core.flushio import read_profile
+from tests.conftest import run_spmd
+
+E = ErrorCode
+
+
+def _traffic_then(fn, n_ranks=3):
+    def prog(comm):
+        mapi.mpi_m_init()
+        _, msid = mapi.mpi_m_start(comm)
+        if comm.rank == 0:
+            comm.send(b"ab", dest=1)
+            comm.send(b"wxyz", dest=2)
+        elif comm.rank in (1, 2):
+            comm.recv(source=0)
+        mapi.mpi_m_suspend(msid)
+        out = fn(comm, msid)
+        mapi.mpi_m_free(msid)
+        mapi.mpi_m_finalize()
+        return out
+
+    return run_spmd(prog, n_ranks=n_ranks)[0]
+
+
+class TestFlush:
+    def test_per_rank_files(self, tmp_path):
+        base = str(tmp_path / "prof")
+
+        def fn(comm, msid):
+            return mapi.mpi_m_flush(msid, base, flags=Flags.P2P_ONLY)
+
+        results = _traffic_then(fn)
+        assert all(c == E.MPI_SUCCESS for c in results)
+        for rank in range(3):
+            path = f"{base}.{rank}.prof"
+            assert os.path.exists(path)
+        prof = read_profile(f"{base}.0.prof")
+        assert prof["kind"] == "local"
+        assert prof["meta"]["rank"] == 0
+        assert prof["meta"]["comm_size"] == 3
+        # rows: src dst count bytes
+        rows = {int(r[1]): (int(r[2]), int(r[3])) for r in prof["data"]}
+        assert rows[1] == (1, 2)
+        assert rows[2] == (1, 4)
+
+    def test_missing_directory_is_internal_fail(self, tmp_path):
+        base = str(tmp_path / "nope" / "prof")
+
+        def fn(comm, msid):
+            return mapi.mpi_m_flush(msid, base)
+
+        results = _traffic_then(fn)
+        assert all(c == E.MPI_M_INTERNAL_FAIL for c in results)
+
+    def test_flags_written_in_header(self, tmp_path):
+        base = str(tmp_path / "hdr")
+
+        def fn(comm, msid):
+            return mapi.mpi_m_flush(msid, base,
+                                    flags=Flags.P2P_ONLY | Flags.COLL_ONLY)
+
+        _traffic_then(fn)
+        prof = read_profile(f"{base}.1.prof")
+        assert prof["meta"]["flags"] == "P2P_ONLY|COLL_ONLY"
+
+
+class TestRootFlush:
+    def test_two_matrix_files_at_root_world_rank(self, tmp_path):
+        base = str(tmp_path / "root")
+
+        def fn(comm, msid):
+            return mapi.mpi_m_rootflush(msid, 1, base, flags=Flags.P2P_ONLY)
+
+        results = _traffic_then(fn)
+        assert all(c == E.MPI_SUCCESS for c in results)
+        # Files are named after the root's rank in MPI_COMM_WORLD.
+        cpath = f"{base}_counts.1.prof"
+        spath = f"{base}_sizes.1.prof"
+        assert os.path.exists(cpath) and os.path.exists(spath)
+        counts = read_profile(cpath)
+        sizes = read_profile(spath)
+        assert counts["kind"] == "root-counts"
+        assert sizes["kind"] == "root-sizes"
+        assert counts["data"].shape == (3, 3)
+        assert sizes["data"][0, 1] == 2
+        assert sizes["data"][0, 2] == 4
+        assert counts["data"][0, 1] == 1
+
+    def test_only_root_writes(self, tmp_path):
+        base = str(tmp_path / "only")
+
+        def fn(comm, msid):
+            return mapi.mpi_m_rootflush(msid, 0, base)
+
+        _traffic_then(fn)
+        files = sorted(os.listdir(os.path.dirname(base)))
+        assert files == ["only_counts.0.prof", "only_sizes.0.prof"]
+
+
+class TestParser:
+    def test_rejects_non_profile(self, tmp_path):
+        p = tmp_path / "junk.txt"
+        p.write_text("1 2 3\n")
+        with pytest.raises(ValueError):
+            read_profile(str(p))
+
+    def test_roundtrip_numpy_loadtxt(self, tmp_path):
+        base = str(tmp_path / "np")
+
+        def fn(comm, msid):
+            return mapi.mpi_m_rootflush(msid, 0, base)
+
+        _traffic_then(fn)
+        mat = np.loadtxt(f"{base}_sizes.0.prof", dtype=np.uint64)
+        assert mat.shape == (3, 3)

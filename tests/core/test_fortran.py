@@ -1,0 +1,131 @@
+"""Tests for the Fortran-style binding (integer handles, ierr params)."""
+
+import numpy as np
+import pytest
+
+from repro.core import fortran as f
+from repro.core.constants import ErrorCode, Flags
+from tests.conftest import run_spmd
+
+E = ErrorCode
+
+
+class TestFortranBinding:
+    def test_listing1_flow(self):
+        """The paper's Listing 1 shape: init then start on WORLD."""
+
+        def prog(comm):
+            ierr = [99]
+            msid = [0]
+            f.mpi_m_init_f(ierr)
+            assert ierr[0] == E.MPI_SUCCESS
+            f.mpi_m_start_f(comm, msid, ierr)
+            assert ierr[0] == E.MPI_SUCCESS
+            assert isinstance(msid[0], int) and msid[0] > 0
+            comm.barrier()
+            f.mpi_m_suspend_f(msid[0], ierr)
+            assert ierr[0] == E.MPI_SUCCESS
+            f.mpi_m_free_f(msid[0], ierr)
+            f.mpi_m_finalize_f(ierr)
+            return ierr[0]
+
+        results, _ = run_spmd(prog, n_ranks=4)
+        assert results == [E.MPI_SUCCESS] * 4
+
+    def test_data_into_fortran_arrays(self):
+        def prog(comm):
+            ierr = [0]
+            msid = [0]
+            f.mpi_m_init_f(ierr)
+            f.mpi_m_start_f(comm, msid, ierr)
+            if comm.rank == 0:
+                comm.send(b"abcde", dest=1)
+            elif comm.rank == 1:
+                comm.recv(source=0)
+            f.mpi_m_suspend_f(msid[0], ierr)
+            counts = np.zeros(comm.size, dtype=np.uint64)
+            sizes = np.zeros(comm.size, dtype=np.uint64)
+            f.mpi_m_get_data_f(msid[0], counts, sizes,
+                               int(Flags.P2P_ONLY), ierr)
+            assert ierr[0] == E.MPI_SUCCESS
+            f.mpi_m_free_f(msid[0], ierr)
+            f.mpi_m_finalize_f(ierr)
+            return sizes.tolist()
+
+        results, _ = run_spmd(prog, n_ranks=2)
+        assert results[0] == [0, 5]
+
+    def test_get_info_out_params(self):
+        def prog(comm):
+            ierr, msid = [0], [0]
+            provided, n = [0], [0]
+            f.mpi_m_init_f(ierr)
+            f.mpi_m_start_f(comm, msid, ierr)
+            f.mpi_m_get_info_f(msid[0], provided, n, ierr)
+            f.mpi_m_suspend_f(msid[0], ierr)
+            f.mpi_m_free_f(msid[0], ierr)
+            f.mpi_m_finalize_f(ierr)
+            return (provided[0], n[0])
+
+        results, _ = run_spmd(prog, n_ranks=3)
+        assert results[0] == (3, 3)
+
+    def test_all_msid_integer_constant(self):
+        def prog(comm):
+            ierr, a, b = [0], [0], [0]
+            f.mpi_m_init_f(ierr)
+            f.mpi_m_start_f(comm, a, ierr)
+            f.mpi_m_start_f(comm, b, ierr)
+            f.mpi_m_suspend_f(f.MPI_M_ALL_MSID_F, ierr)
+            assert ierr[0] == E.MPI_SUCCESS
+            f.mpi_m_free_f(f.MPI_M_ALL_MSID_F, ierr)
+            f.mpi_m_finalize_f(ierr)
+            return ierr[0]
+
+        results, _ = run_spmd(prog, n_ranks=2)
+        assert results[0] == E.MPI_SUCCESS
+
+    def test_error_codes_through_ierr(self):
+        def prog(comm):
+            ierr = [0]
+            f.mpi_m_suspend_f(123, ierr)  # before init
+            missing = ierr[0]
+            f.mpi_m_init_f(ierr)
+            f.mpi_m_suspend_f(123, ierr)  # bogus handle
+            invalid = ierr[0]
+            f.mpi_m_finalize_f(ierr)
+            return (missing, invalid)
+
+        results, _ = run_spmd(prog, n_ranks=1)
+        assert results[0] == (E.MPI_M_MISSING_INIT, E.MPI_M_INVALID_MSID)
+
+    def test_rootflush_f(self, tmp_path):
+        base = str(tmp_path / "fort")
+
+        def prog(comm):
+            ierr, msid = [0], [0]
+            f.mpi_m_init_f(ierr)
+            f.mpi_m_start_f(comm, msid, ierr)
+            comm.barrier()
+            f.mpi_m_suspend_f(msid[0], ierr)
+            f.mpi_m_rootflush_f(msid[0], 0, base, int(Flags.COLL_ONLY), ierr)
+            code = ierr[0]
+            f.mpi_m_free_f(msid[0], ierr)
+            f.mpi_m_finalize_f(ierr)
+            return code
+
+        results, _ = run_spmd(prog, n_ranks=2)
+        assert results == [E.MPI_SUCCESS] * 2
+        import os
+
+        assert os.path.exists(f"{base}_counts.0.prof")
+
+    def test_ierr_must_be_out_param(self):
+        from repro.simmpi import RankFailure
+
+        def prog(comm):
+            f.mpi_m_init_f(0)  # not a list: programming error
+
+        with pytest.raises(RankFailure) as e:
+            run_spmd(prog, n_ranks=1)
+        assert isinstance(e.value.original, TypeError)

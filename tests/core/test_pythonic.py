@@ -1,0 +1,159 @@
+"""Tests for the Pythonic (context-manager) front-end."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Flags,
+    InvalidMsid,
+    MissingInit,
+    MonitoringSession,
+    MultipleCall,
+    SessionNotSuspended,
+    monitoring,
+)
+from repro.simmpi import RankFailure
+from tests.conftest import run_spmd
+
+
+class TestContextManagers:
+    def test_basic_flow(self):
+        def prog(comm):
+            with monitoring():
+                with MonitoringSession(comm) as mon:
+                    if comm.rank == 0:
+                        comm.send(b"hello", dest=1)
+                    elif comm.rank == 1:
+                        comm.recv(source=0)
+                counts, sizes = mon.get_data(Flags.P2P_ONLY)
+                mon.free()
+                return (counts.tolist(), sizes.tolist())
+
+        results, _ = run_spmd(prog, n_ranks=2)
+        assert results[0] == ([0, 1], [0, 5])
+
+    def test_monitoring_required(self):
+        def prog(comm):
+            with MonitoringSession(comm):
+                pass
+
+        with pytest.raises(RankFailure) as e:
+            run_spmd(prog, n_ranks=2)
+        assert isinstance(e.value.original, MissingInit)
+
+    def test_pause_resume_reset(self):
+        def prog(comm):
+            with monitoring():
+                with MonitoringSession(comm) as mon:
+                    comm.barrier()
+                    mon.pause()
+                    mid_counts = mon.counts().sum()
+                    mon.reset()
+                    after_reset = mon.counts().sum()
+                    mon.resume()
+                    comm.barrier()
+                total = mon.counts().sum()
+                mon.free()
+                return (int(mid_counts), int(after_reset), int(total))
+
+        results, _ = run_spmd(prog, n_ranks=4)
+        mid, after_reset, total = results[0]
+        assert mid > 0
+        assert after_reset == 0
+        assert total > 0
+
+    def test_not_reentrant(self):
+        def prog(comm):
+            with monitoring():
+                session = MonitoringSession(comm)
+                with session:
+                    try:
+                        with session:
+                            pass
+                    except RuntimeError:
+                        return "caught"
+
+        results, _ = run_spmd(prog, n_ranks=1)
+        assert results[0] == "caught"
+
+    def test_data_after_free_raises(self):
+        def prog(comm):
+            with monitoring():
+                with MonitoringSession(comm) as mon:
+                    pass
+                mon.free()
+                try:
+                    mon.get_data()
+                except InvalidMsid:
+                    return "caught"
+
+        results, _ = run_spmd(prog, n_ranks=1)
+        assert results[0] == "caught"
+
+    def test_resume_while_active_raises(self):
+        def prog(comm):
+            with monitoring():
+                with MonitoringSession(comm) as mon:
+                    try:
+                        mon.resume()
+                    except MultipleCall:
+                        return "caught"
+                    finally:
+                        pass
+
+        results, _ = run_spmd(prog, n_ranks=1)
+        assert results[0] == "caught"
+
+    def test_array_size_property(self):
+        def prog(comm):
+            with monitoring():
+                with MonitoringSession(comm) as mon:
+                    n = mon.array_size
+                mon.free()
+                return n
+
+        results, _ = run_spmd(prog, n_ranks=5)
+        assert results == [5] * 5
+
+    def test_allgather_and_gather(self):
+        def prog(comm):
+            with monitoring():
+                with MonitoringSession(comm) as mon:
+                    if comm.rank == 0:
+                        comm.send(b"abc", dest=1)
+                    elif comm.rank == 1:
+                        comm.recv(source=0)
+                cmat, smat = mon.allgather(Flags.P2P_ONLY)
+                rooted = mon.gather(root=1, flags=Flags.P2P_ONLY)
+                mon.free()
+                return (smat[0, 1], rooted is not None)
+
+        results, _ = run_spmd(prog, n_ranks=3)
+        assert results[0] == (3, False)
+        assert results[1] == (3, True)
+
+    def test_flush_via_pythonic(self, tmp_path):
+        base = str(tmp_path / "py")
+
+        def prog(comm):
+            with monitoring():
+                with MonitoringSession(comm) as mon:
+                    comm.barrier()
+                mon.flush(base, Flags.COLL_ONLY)
+                mon.free()
+
+        run_spmd(prog, n_ranks=2)
+        import os
+
+        assert os.path.exists(f"{base}.0.prof")
+        assert os.path.exists(f"{base}.1.prof")
+
+    def test_exception_propagates_through_session(self):
+        def prog(comm):
+            with monitoring():
+                with MonitoringSession(comm) as mon:
+                    raise KeyError("user error")
+
+        with pytest.raises(RankFailure) as e:
+            run_spmd(prog, n_ranks=1)
+        assert isinstance(e.value.original, KeyError)

@@ -1,0 +1,137 @@
+"""Deeper session-semantics tests: window conservation, OSC flags,
+and interaction with the communicator zoo."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import api as mapi
+from repro.core.constants import Flags, MPI_M_DATA_IGNORE
+from repro.core.errors import raise_for_code
+from tests.conftest import run_spmd
+
+
+class TestWindowConservation:
+    @settings(max_examples=8, deadline=None)
+    @given(st.lists(st.integers(0, 5000), min_size=1, max_size=8))
+    def test_sampled_windows_sum_to_total(self, bursts):
+        """Splitting a session into reset windows loses nothing:
+        the window volumes sum to what one long session records."""
+
+        def prog(comm):
+            raise_for_code(mapi.mpi_m_init())
+            _, windowed = mapi.mpi_m_start(comm)
+            _, whole = mapi.mpi_m_start(comm)
+            windows = []
+            for i, nbytes in enumerate(bursts):
+                if comm.rank == 0:
+                    comm.send(None, dest=1, tag=i, nbytes=nbytes)
+                elif comm.rank == 1:
+                    comm.recv(source=0, tag=i)
+                raise_for_code(mapi.mpi_m_suspend(windowed))
+                _, _, sizes = mapi.mpi_m_get_data(
+                    windowed, MPI_M_DATA_IGNORE, None, Flags.P2P_ONLY)
+                raise_for_code(mapi.mpi_m_reset(windowed))
+                raise_for_code(mapi.mpi_m_continue(windowed))
+                windows.append(int(sizes.sum()))
+            mapi.mpi_m_suspend(windowed)
+            mapi.mpi_m_suspend(whole)
+            _, _, total = mapi.mpi_m_get_data(
+                whole, MPI_M_DATA_IGNORE, None, Flags.P2P_ONLY)
+            mapi.mpi_m_free(windowed)
+            mapi.mpi_m_free(whole)
+            mapi.mpi_m_finalize()
+            return (windows, int(total.sum()))
+
+        results, _ = run_spmd(prog, n_ranks=2)
+        windows, total = results[0]
+        assert sum(windows) == total == sum(bursts)
+
+
+class TestOscThroughSessions:
+    def test_osc_only_flag_selects_rma(self):
+        def prog(comm):
+            raise_for_code(mapi.mpi_m_init())
+            _, msid = mapi.mpi_m_start(comm)
+            win = comm.win_create(np.zeros(4))
+            if comm.rank == 0:
+                win.put(np.ones(4), target=1)
+            win.fence()
+            if comm.rank == 0:
+                comm.send(b"p2p!", dest=1)
+            elif comm.rank == 1:
+                comm.recv(source=0)
+            mapi.mpi_m_suspend(msid)
+            _, _, osc = mapi.mpi_m_get_data(
+                msid, MPI_M_DATA_IGNORE, None, Flags.OSC_ONLY)
+            _, _, p2p = mapi.mpi_m_get_data(
+                msid, MPI_M_DATA_IGNORE, None, Flags.P2P_ONLY)
+            mapi.mpi_m_free(msid)
+            mapi.mpi_m_finalize()
+            return (int(osc.sum()), int(p2p.sum()))
+
+        results, _ = run_spmd(prog, n_ranks=2)
+        osc0, p2p0 = results[0]
+        assert osc0 == 32  # the put (4 doubles); fence tokens are 0 B
+        assert p2p0 == 4
+
+    def test_get_flows_attributed_to_target(self):
+        def prog(comm):
+            raise_for_code(mapi.mpi_m_init())
+            _, msid = mapi.mpi_m_start(comm)
+            win = comm.win_create(np.zeros(8))
+            win.fence()
+            if comm.rank == 0:
+                win.get(target=1)
+            win.fence()
+            mapi.mpi_m_suspend(msid)
+            _, _, osc = mapi.mpi_m_get_data(
+                msid, MPI_M_DATA_IGNORE, None, Flags.OSC_ONLY)
+            mapi.mpi_m_free(msid)
+            mapi.mpi_m_finalize()
+            return osc.tolist()
+
+        results, _ = run_spmd(prog, n_ranks=2)
+        # The wire bytes of an RMA read leave the *target* (rank 1).
+        assert results[1][0] == 64
+        assert results[0][1] == 0
+
+
+class TestSessionOnManyComms:
+    def test_three_level_comm_hierarchy(self):
+        """Sessions on world, a split, and a dup all see consistent
+        projections of the same underlying traffic."""
+
+        def prog(comm):
+            raise_for_code(mapi.mpi_m_init())
+            half = comm.split(color=comm.rank // 2, key=comm.rank)
+            dup = comm.dup()
+            sessions = {}
+            for name, c in (("world", comm), ("half", half), ("dup", dup)):
+                _, sessions[name] = mapi.mpi_m_start(c)
+            if comm.rank == 0:
+                comm.send(None, dest=1, nbytes=100)  # within half 0
+                dup.send(None, dest=3, nbytes=7)  # across halves, on dup
+            elif comm.rank == 1:
+                comm.recv(source=0)
+            if comm.rank == 3:
+                dup.recv(source=0)
+            out = {}
+            for name, msid in sessions.items():
+                mapi.mpi_m_suspend(msid)
+                _, _, sizes = mapi.mpi_m_get_data(
+                    msid, MPI_M_DATA_IGNORE, None, Flags.P2P_ONLY)
+                out[name] = int(sizes.sum())
+                mapi.mpi_m_free(msid)
+            mapi.mpi_m_finalize()
+            return out
+
+        results, _ = run_spmd(prog, n_ranks=4)
+        r0 = results[0]
+        # World and dup sessions cover all members: both messages.
+        assert r0["world"] == 107
+        assert r0["dup"] == 107
+        # The half session (ranks 0,1) only sees the intra-half bytes,
+        # even though the 7-byte message used the dup communicator.
+        assert r0["half"] == 100

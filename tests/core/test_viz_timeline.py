@@ -1,0 +1,98 @@
+"""Tests for the matrix rendering helpers and the timeline extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import api as mapi
+from repro.core.constants import Flags
+from repro.core.errors import raise_for_code
+from repro.core.timeline import (
+    TimelineSampler,
+    predict_next_window,
+    underutilized_windows,
+)
+from repro.core.viz import render_heatmap, render_matrix, traffic_summary
+from repro.simmpi.topology import Topology
+from tests.conftest import run_spmd
+
+
+class TestRenderMatrix:
+    def test_dots_and_digits(self):
+        m = np.array([[0, 3], [12, 0]])
+        out = render_matrix(m)
+        lines = out.splitlines()
+        assert " ." in lines[1] and " 3" in lines[1]
+        assert " +" in lines[2]  # 12 > 9 renders as '+'
+
+    def test_size_guard(self):
+        out = render_matrix(np.zeros((100, 100)), max_size=10)
+        assert "100x100" in out
+
+    def test_heatmap_shades(self):
+        m = np.array([[0.0, 1.0], [1e6, 0.0]])
+        out = render_heatmap(m)
+        rows = out.splitlines()
+        assert rows[0][0] == " "  # zero entry blank
+        assert rows[0][1] != " "
+        assert rows[1][0] != rows[0][1]  # different magnitudes shade apart
+
+    def test_heatmap_all_zero(self):
+        out = render_heatmap(np.zeros((3, 3)))
+        assert "." in out or " " in out
+
+    def test_traffic_summary(self):
+        topo = Topology([("node", 2), ("core", 2)])
+        m = np.zeros((2, 2))
+        m[0, 1] = 100
+        s = traffic_summary(m, topo, [0, 2], label="test")
+        assert s.startswith("test:")
+        assert "cluster" in s and "100" in s
+
+
+class TestTimeline:
+    def _sampled_program(self, comm):
+        raise_for_code(mapi.mpi_m_init())
+        sampler = TimelineSampler(comm, flags=Flags.P2P_ONLY)
+        peer = 1 - comm.rank
+        # Three busy windows and two quiet ones.
+        for window, nbytes in enumerate([1000, 0, 5000, 0, 2000]):
+            if nbytes and comm.rank == 0:
+                comm.send(None, dest=1, nbytes=nbytes)
+            elif nbytes:
+                comm.recv(source=0)
+            comm.sleep(0.01)
+            sampler.sample()
+        sampler.close()
+        raise_for_code(mapi.mpi_m_finalize())
+        return sampler.series()
+
+    def test_sampler_windows(self):
+        results, _ = run_spmd(self._sampled_program, n_ranks=2)
+        times, volumes = results[0]
+        assert volumes.tolist() == [1000, 0, 5000, 0, 2000]
+        assert len(times) == 5
+        assert (np.diff(times) > 0).all()
+
+    def test_receiver_sends_nothing(self):
+        results, _ = run_spmd(self._sampled_program, n_ranks=2)
+        _, volumes = results[1]
+        assert volumes.sum() == 0
+
+    def test_predictors(self):
+        hist = [100, 200, 300, 400]
+        assert predict_next_window(hist, "last") == 400
+        assert predict_next_window(hist, "moving_average", window=2) == 350
+        assert predict_next_window(hist, "linear", window=4) == pytest.approx(500)
+        assert predict_next_window([], "last") == 0.0
+        with pytest.raises(ValueError):
+            predict_next_window(hist, "oracle")
+
+    def test_linear_never_negative(self):
+        assert predict_next_window([500, 10], "linear", window=2) == 0.0
+
+    def test_underutilized_windows(self):
+        vols = [1000, 0, 5000, 100, 2000]
+        quiet = underutilized_windows(vols, threshold_fraction=0.25)
+        assert quiet == [0, 1, 3]
+        assert underutilized_windows([]) == []
+        assert underutilized_windows([0, 0]) == [0, 1]

@@ -1,0 +1,113 @@
+"""Smoke tests for the experiment drivers (tiny parameterizations)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig2_counters,
+    fig4_overhead,
+    fig5_collectives,
+    fig6_allgather,
+    fig7_cg,
+    table1_treematch,
+)
+from repro.experiments.common import Series, geomean, render_table
+
+
+class TestCommon:
+    def test_render_table(self):
+        out = render_table(["a", "bb"], [(1, 2.5), (30, 0.001)], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_series(self):
+        s = Series("x")
+        s.add(1, 2.0)
+        s.add(2, 3.0)
+        assert s.as_rows() == [(1, 2.0), (2, 3.0)]
+
+    def test_geomean(self):
+        assert geomean([1, 4]) == pytest.approx(2.0)
+        assert np.isnan(geomean([]))
+
+
+class TestFig2:
+    def test_monitors_agree(self):
+        res = fig2_counters.run(duration=1.0)
+        assert res.mon_window.sum() == res.total_sent
+        # HW counter loses at most `lanes` bytes to integer division.
+        assert abs(int(res.hw_window.sum()) - res.total_sent) <= 4
+        assert res.max_cumulative_lag <= 4 * len(res.times)
+        assert "introspection" in fig2_counters.report(res)
+
+    def test_cumulative_monotone(self):
+        res = fig2_counters.run(duration=0.5)
+        assert (np.diff(res.hw_cumulative) >= 0).all()
+        assert (np.diff(res.mon_cumulative) >= 0).all()
+
+
+class TestFig4:
+    def test_overhead_small_and_bounded(self):
+        pts = fig4_overhead.run(node_counts=(2,), sizes=(1, 1000), reps=12)
+        assert len(pts) == 2
+        for p in pts:
+            assert abs(p.mean_diff_us) < 5.0  # the paper's bound
+            assert p.ci95_us > 0
+        assert "Fig. 4" in fig4_overhead.report(pts)
+
+
+class TestFig5:
+    @pytest.mark.parametrize("op", ["reduce", "bcast"])
+    def test_reordering_wins(self, op):
+        pts = fig5_collectives.run(op, node_counts=(2,),
+                                   sizes=(20_000_000,), reps=1)
+        assert len(pts) == 1
+        p = pts[0]
+        assert p.t_reordered < p.t_baseline
+        assert p.speedup > 1.2
+        assert "Fig. 5" in fig5_collectives.report(pts)
+
+
+class TestFig6:
+    def test_heatmap_shape(self):
+        cells = fig6_allgather.run(node_counts=(2,), sizes=(1, 100_000),
+                                   iteration_counts=(1, 200))
+        assert len(cells) == 4
+        by = {(c.n_ints, c.iterations): c for c in cells}
+        # Tiny work: reordering cost dominates (negative gain).
+        assert by[(1, 1)].gain_percent < 0
+        # Large buffers, many iterations: reordering pays off.
+        assert by[(100_000, 200)].gain_percent > 20
+        assert "Fig. 6" in fig6_allgather.report(cells)
+
+
+class TestFig7:
+    def test_ratios_above_one(self):
+        pt = fig7_cg.run_one("B", 64, "rr", sim_iters=1)
+        assert pt.exec_ratio > 1.0
+        assert pt.comm_ratio > 1.0
+        assert pt.comm_ratio > pt.exec_ratio  # comm gain drives exec gain
+        assert "Fig. 7" in fig7_cg.report([pt])
+
+    def test_nodes_for_matches_paper(self):
+        assert fig7_cg.nodes_for(64) == 3
+        assert fig7_cg.nodes_for(128) == 6
+        assert fig7_cg.nodes_for(256) == 11
+        assert fig7_cg.nodes_for(48) == 2
+
+
+class TestTable1:
+    def test_timings_grow_with_order(self):
+        timings = table1_treematch.run(sizes=(256, 1024))
+        assert [t.order for t in timings] == [256, 1024]
+        assert timings[0].seconds >= 0
+        assert timings[1].seconds > timings[0].seconds
+        assert "Table 1" in table1_treematch.report(timings)
+
+    def test_synthetic_matrix_structure(self):
+        m = table1_treematch.synthetic_comm_matrix(64)
+        assert m.shape == (64, 64)
+        assert m.diagonal().sum() == 0
+        assert m[0, 1] >= 1000  # heavy ring neighbour

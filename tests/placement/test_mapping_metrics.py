@@ -1,0 +1,137 @@
+"""Tests for mapping permutations and placement metrics."""
+
+import numpy as np
+import pytest
+
+from repro.placement.mapping import (
+    apply_permutation,
+    invert_permutation,
+    is_permutation,
+    reorder_permutation,
+    validate_placement,
+)
+from repro.placement.baselines import (
+    greedy_edge_placement,
+    identity_placement,
+    random_placement,
+    round_robin_placement,
+)
+from repro.placement.metrics import (
+    hop_bytes,
+    inter_node_bytes,
+    level_bytes,
+    modeled_cost,
+)
+from repro.simmpi.network import plafrim_params
+from repro.simmpi.topology import Topology
+
+
+@pytest.fixture
+def topo():
+    return Topology([("node", 2), ("socket", 2), ("core", 2)])  # 8 PUs
+
+
+class TestPermutations:
+    def test_is_permutation(self):
+        assert is_permutation([2, 0, 1])
+        assert not is_permutation([0, 0, 1])
+        assert not is_permutation([1, 2, 3])
+
+    def test_invert(self):
+        k = np.array([2, 0, 1])
+        inv = invert_permutation(k)
+        assert inv.tolist() == [1, 2, 0]
+        assert invert_permutation(inv).tolist() == k.tolist()
+
+    def test_reorder_permutation_definition(self):
+        # Rank i sits on PU rank_pus[i]; TreeMatch wants role j on
+        # placement[j].  k[i] must be the role assigned to rank i's PU.
+        placement = [4, 0, 2]  # role0->pu4, role1->pu0, role2->pu2
+        rank_pus = [0, 2, 4]
+        k = reorder_permutation(placement, rank_pus)
+        assert k.tolist() == [1, 2, 0]
+
+    def test_identity_when_aligned(self):
+        assert reorder_permutation([3, 5, 7], [3, 5, 7]).tolist() == [0, 1, 2]
+
+    def test_mismatched_pu_sets_rejected(self):
+        with pytest.raises(ValueError):
+            reorder_permutation([0, 1], [0, 2])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            reorder_permutation([0, 1, 2], [0, 1])
+
+    def test_duplicate_placement_rejected(self):
+        with pytest.raises(ValueError):
+            reorder_permutation([0, 0], [0, 1])
+
+    def test_apply_permutation(self):
+        m = np.array([[0, 10], [20, 0]], dtype=float)
+        k = np.array([1, 0])  # swap ranks
+        out = apply_permutation(m, k)
+        assert out.tolist() == [[0, 20], [10, 0]]
+
+    def test_validate_placement(self):
+        assert validate_placement([1, 3], [1, 2, 3]) == [1, 3]
+        with pytest.raises(ValueError):
+            validate_placement([1, 1], [1, 2])
+        with pytest.raises(ValueError):
+            validate_placement([9], [1, 2])
+
+
+class TestBaselines:
+    def test_identity(self, topo):
+        assert identity_placement(4, topo) == [0, 1, 2, 3]
+
+    def test_round_robin_alternates(self, topo):
+        pl = round_robin_placement(4, topo)
+        assert [topo.node_of(p) for p in pl] == [0, 1, 0, 1]
+
+    def test_random_seeded(self, topo):
+        assert random_placement(6, topo, seed=1) == random_placement(6, topo, seed=1)
+        assert len(set(random_placement(8, topo, seed=2))) == 8
+
+    def test_greedy_edge_covers_all(self, topo):
+        m = np.zeros((4, 4))
+        m[0, 3] = m[3, 0] = 100
+        pl = greedy_edge_placement(m, topo)
+        assert len(set(pl)) == 4
+        # The heavy pair lands on adjacent PUs.
+        assert abs(pl[0] - pl[3]) == 1
+
+    def test_too_many_processes(self, topo):
+        with pytest.raises(ValueError):
+            identity_placement(9, topo)
+
+
+class TestMetrics:
+    def test_hop_bytes(self, topo):
+        m = np.zeros((2, 2))
+        m[0, 1] = 10
+        assert hop_bytes(m, topo, [0, 1]) == 10 * 2  # same socket: dist 2
+        assert hop_bytes(m, topo, [0, 4]) == 10 * 6  # cross node: dist 6
+
+    def test_level_bytes_partition(self, topo):
+        m = np.ones((4, 4)) - np.eye(4)
+        lb = level_bytes(m, topo, [0, 1, 2, 4])
+        assert lb["cluster"] + lb["node"] + lb["socket"] + lb["self"] == \
+            pytest.approx(m.sum())
+
+    def test_inter_node_bytes(self, topo):
+        m = np.zeros((2, 2))
+        m[0, 1] = m[1, 0] = 5
+        assert inter_node_bytes(m, topo, [0, 4]) == 10
+        assert inter_node_bytes(m, topo, [0, 1]) == 0
+
+    def test_modeled_cost_prefers_local(self, topo):
+        params = plafrim_params()
+        m = np.zeros((2, 2))
+        m[0, 1] = 1e9
+        local = modeled_cost(m, topo, [0, 1], params)
+        remote = modeled_cost(m, topo, [0, 4], params)
+        assert local < remote
+
+    def test_metrics_reject_non_square(self, topo):
+        with pytest.raises(ValueError):
+            hop_bytes(np.zeros((2, 3)), topo, [0, 1])

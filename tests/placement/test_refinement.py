@@ -1,0 +1,72 @@
+"""Tests for the Kernighan-Lin-style grouping refinement."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.placement.grouping import greedy_group, refine_groups, symmetrize
+from tests.placement.test_grouping import clique_matrix
+
+
+def cut_weight(W, groups):
+    total = 0.0
+    for gi, ga in enumerate(groups):
+        for gb in groups[gi + 1 :]:
+            total += W[np.ix_(ga, gb)].sum()
+    return total
+
+
+class TestRefineGroups:
+    def test_repairs_bad_grouping(self):
+        W = symmetrize(clique_matrix(2, 4))
+        bad = [[0, 1, 4, 5], [2, 3, 6, 7]]  # cliques split across groups
+        good = refine_groups(W, bad)
+        assert cut_weight(W, good) < cut_weight(W, bad)
+        assert sorted(map(tuple, good)) == [(0, 1, 2, 3), (4, 5, 6, 7)]
+
+    def test_never_worse(self):
+        rng = np.random.default_rng(5)
+        W = symmetrize(rng.random((12, 12)))
+        groups = greedy_group(W, [4, 4, 4])
+        refined = refine_groups(W, groups)
+        assert cut_weight(W, refined) <= cut_weight(W, groups) + 1e-9
+
+    def test_sizes_preserved(self):
+        rng = np.random.default_rng(6)
+        W = symmetrize(rng.random((10, 10)))
+        groups = greedy_group(W, [5, 3, 2])
+        refined = refine_groups(W, groups)
+        assert [len(g) for g in refined] == [5, 3, 2]
+        assert sorted(sum(refined, [])) == list(range(10))
+
+    def test_optimal_grouping_unchanged(self):
+        W = symmetrize(clique_matrix(3, 3))
+        opt = [[0, 1, 2], [3, 4, 5], [6, 7, 8]]
+        assert refine_groups(W, opt) == opt
+
+    def test_single_group_noop(self):
+        W = symmetrize(clique_matrix(1, 4))
+        assert refine_groups(W, [[0, 1, 2, 3]]) == [[0, 1, 2, 3]]
+
+    def test_small_sparse_densified(self):
+        W = symmetrize(sp.csr_matrix(clique_matrix(2, 3)))
+        bad = [[0, 1, 3], [2, 4, 5]]
+        good = refine_groups(W, bad)
+        assert sorted(map(tuple, good)) == [(0, 1, 2), (3, 4, 5)]
+
+    def test_huge_sparse_passthrough(self):
+        n = 5000
+        W = sp.identity(n, format="csr")
+        groups = [list(range(n // 2)), list(range(n // 2, n))]
+        out = refine_groups(W, groups)
+        assert out == groups
+
+    def test_uneven_group_swaps(self):
+        # A 1-vs-3 split where the singleton belongs with the others.
+        W = symmetrize(clique_matrix(1, 2))  # pair (0,1) heavy
+        W2 = np.zeros((4, 4))
+        W2[:2, :2] = W
+        W2[2, 3] = W2[3, 2] = 100.0
+        bad = [[0, 2], [1, 3]]
+        good = refine_groups(W2, bad)
+        assert sorted(map(tuple, good)) == [(0, 1), (2, 3)]

@@ -1,0 +1,148 @@
+"""Tests for the dynamic rank-reordering algorithm (paper Fig. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.placement.mapping import is_permutation
+from repro.placement.reorder import (
+    redistribute_data,
+    reorder_from_matrix,
+    reorder_iterative,
+    treematch_model_seconds,
+)
+from repro.simmpi import Cluster, Engine, Topology
+from tests.conftest import run_spmd
+
+
+def ring_iteration(nbytes=80_000):
+    def iteration(it, comm):
+        me, n = comm.rank, comm.size
+        comm.sendrecv(None, dest=(me + 1) % n, source=(me - 1) % n,
+                      sendtag=1, recvtag=1, nbytes=nbytes)
+
+    return iteration
+
+
+class TestModelTime:
+    def test_matches_paper_table1_anchor(self):
+        assert treematch_model_seconds(8192) == pytest.approx(2.6)
+
+    def test_power_law_growth(self):
+        assert treematch_model_seconds(65536) == pytest.approx(88.7, rel=0.3)
+
+    def test_trivial_sizes(self):
+        assert treematch_model_seconds(1) == 0.0
+        assert treematch_model_seconds(0) == 0.0
+
+
+class TestReorderFromMatrix:
+    def test_k_is_permutation_and_consistent(self):
+        def prog(comm):
+            n = comm.size
+            mat = np.zeros((n, n))
+            for i in range(0, n, 2):  # heavy pairs (0,1), (2,3), ...
+                mat[i, i + 1] = mat[i + 1, i] = 1000
+            opt, k = reorder_from_matrix(
+                comm, mat if comm.rank == 0 else None,
+                charge_mapping_time=False)
+            return (k.tolist(), opt.rank, opt.size)
+
+        results, _ = run_spmd(prog, n_ranks=8, binding="rr")
+        k0 = results[0][0]
+        assert is_permutation(k0)
+        # Every rank got the same k and its new rank equals k[old rank].
+        for old_rank, (k, new_rank, size) in enumerate(results):
+            assert k == k0
+            assert new_rank == k0[old_rank]
+            assert size == 8
+
+    def test_missing_matrix_at_root_fails(self):
+        def prog(comm):
+            reorder_from_matrix(comm, None)
+
+        from repro.simmpi import RankFailure
+
+        with pytest.raises(RankFailure):
+            run_spmd(prog, n_ranks=4)
+
+    def test_mapping_time_charged_to_root(self):
+        def prog(comm):
+            mat = np.ones((comm.size, comm.size))
+            t0 = comm.time
+            reorder_from_matrix(comm, mat if comm.rank == 0 else None,
+                                charge_mapping_time=True)
+            return comm.time - t0
+
+        results, _ = run_spmd(prog, n_ranks=4)
+        assert results[0] >= treematch_model_seconds(4)
+
+
+class TestRedistribute:
+    def test_payloads_follow_roles(self):
+        def prog(comm):
+            k = np.array([1, 2, 0])  # old rank i -> new rank k[i]
+            payload = f"data-of-role-{comm.rank}"
+            out = redistribute_data(comm, k, payload=payload)
+            return out
+
+        results, _ = run_spmd(prog, n_ranks=3)
+        # Rank i takes over logical role k[i]; it must now hold the
+        # payload that belonged to the process whose old rank is k[i].
+        assert results == ["data-of-role-1", "data-of-role-2", "data-of-role-0"]
+
+    def test_identity_is_local(self):
+        def prog(comm):
+            k = np.arange(comm.size)
+            return redistribute_data(comm, k, payload=comm.rank)
+
+        results, _ = run_spmd(prog, n_ranks=4)
+        assert results == [0, 1, 2, 3]
+
+    def test_abstract_redistribution_costs_time(self):
+        def prog(comm):
+            k = np.roll(np.arange(comm.size), 1)
+            t0 = comm.time
+            redistribute_data(comm, k, nbytes=1_000_000)
+            return comm.time - t0
+
+        results, _ = run_spmd(prog, n_ranks=4)
+        assert all(dt > 0 for dt in results)
+
+
+class TestReorderIterative:
+    def test_full_pipeline_improves_ring_on_rr(self):
+        cluster = Cluster.plafrim(2, binding="rr")
+        engine = Engine(cluster)
+        iteration = ring_iteration()
+
+        def prog(comm):
+            comm.barrier()
+            t0 = comm.time
+            iteration(0, comm)
+            comm.barrier()
+            before = comm.time - t0
+            opt, k = reorder_iterative(comm, iteration, max_it=2,
+                                       charge_mapping_time=False)
+            opt.barrier()
+            t1 = comm.time
+            iteration(99, opt)
+            opt.barrier()
+            after = comm.time - t1
+            return (before, after, is_permutation(k))
+
+        results = engine.run(prog)
+        before, after, perm_ok = results[0]
+        assert perm_ok
+        assert after < before / 2  # RR ring: huge locality win
+
+    def test_manage_env_false_requires_init(self):
+        from repro.core.errors import MissingInit
+        from repro.simmpi import RankFailure
+
+        def prog(comm):
+            reorder_iterative(comm, ring_iteration(), max_it=2,
+                              manage_env=False)
+
+        with pytest.raises(RankFailure) as e:
+            run_spmd(prog, n_ranks=4)
+        assert isinstance(e.value.original, MissingInit)

@@ -1,0 +1,120 @@
+"""Tests for the TreeMatch placement algorithm."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.placement.metrics import inter_node_bytes
+from repro.placement.treematch import TreeMatchError, treematch
+from repro.simmpi.topology import Topology
+from tests.placement.test_grouping import clique_matrix
+
+
+@pytest.fixture
+def topo():
+    return Topology([("node", 2), ("socket", 2), ("core", 4)])  # 16 PUs
+
+
+class TestBasics:
+    def test_placement_is_injective(self, topo):
+        m = clique_matrix(4, 4)
+        pl = treematch(m, topo)
+        assert len(set(pl)) == 16
+        assert all(0 <= p < 16 for p in pl)
+
+    def test_single_process(self, topo):
+        assert treematch(np.zeros((1, 1)), topo, allowed_pus=[5]) == [5]
+
+    def test_cliques_colocated_per_socket(self, topo):
+        m = clique_matrix(4, 4)
+        pl = treematch(m, topo)
+        for c in range(4):
+            sockets = {topo.component_of(pl[c * 4 + i], "socket")
+                       for i in range(4)}
+            assert len(sockets) == 1
+
+    def test_beats_identity_on_shuffled_cliques(self, topo):
+        rng = np.random.default_rng(3)
+        perm = rng.permutation(16)
+        m = clique_matrix(4, 4)[np.ix_(perm, perm)]
+        pl = treematch(m, topo)
+        identity = list(range(16))
+        assert inter_node_bytes(m, topo, pl) < inter_node_bytes(m, topo, identity)
+
+    def test_sparse_input(self, topo):
+        m = sp.csr_matrix(clique_matrix(4, 4))
+        pl = treematch(m, topo)
+        assert sorted(pl) == list(range(16))
+
+
+class TestConstrainedOccupancy:
+    def test_partial_node(self, topo):
+        # 10 processes on 12 allowed PUs spanning both nodes unevenly.
+        pus = list(range(8)) + [8, 9, 12, 13]
+        m = clique_matrix(5, 2)
+        pl = treematch(m, topo, allowed_pus=pus)
+        assert len(pl) == 10
+        assert set(pl) <= set(pus)
+        assert len(set(pl)) == 10
+
+    def test_pairs_colocated_when_possible(self, topo):
+        pus = list(range(6))  # all on node 0; sockets of 4: 0-3, 4-5
+        m = clique_matrix(3, 2)
+        pl = treematch(m, topo, allowed_pus=pus)
+        # Each heavy pair should share a socket where capacity allows.
+        same_socket = sum(
+            topo.component_of(pl[2 * c], "socket")
+            == topo.component_of(pl[2 * c + 1], "socket")
+            for c in range(3)
+        )
+        assert same_socket >= 2
+
+    def test_explicit_top_down(self, topo):
+        m = clique_matrix(2, 2)
+        pl = treematch(m, topo, allowed_pus=[0, 1, 8, 9],
+                       algorithm="top_down")
+        # Two pairs, two nodes with 2 PUs each: each pair on one node.
+        assert topo.node_of(pl[0]) == topo.node_of(pl[1])
+        assert topo.node_of(pl[2]) == topo.node_of(pl[3])
+
+    def test_bottom_up_requires_full_occupancy(self, topo):
+        m = clique_matrix(2, 2)
+        with pytest.raises(TreeMatchError):
+            treematch(m, topo, allowed_pus=[0, 1, 8, 9], algorithm="bottom_up")
+
+    def test_auto_dispatch(self, topo):
+        m = clique_matrix(4, 4)
+        full = treematch(m, topo, algorithm="auto")
+        partial = treematch(clique_matrix(2, 2), topo,
+                            allowed_pus=[0, 1, 2, 8], algorithm="auto")
+        assert sorted(full) == list(range(16))
+        assert sorted(partial) == [0, 1, 2, 8]
+
+
+class TestErrors:
+    def test_non_square_matrix(self, topo):
+        with pytest.raises(TreeMatchError):
+            treematch(np.zeros((2, 3)), topo)
+
+    def test_too_many_processes(self, topo):
+        with pytest.raises(TreeMatchError):
+            treematch(np.zeros((17, 17)), topo)
+
+    def test_bad_pu(self, topo):
+        with pytest.raises(TreeMatchError):
+            treematch(np.zeros((2, 2)), topo, allowed_pus=[0, 99])
+
+    def test_empty_pus(self, topo):
+        with pytest.raises(TreeMatchError):
+            treematch(np.zeros((1, 1)), topo, allowed_pus=[])
+
+    def test_unknown_algorithm(self, topo):
+        with pytest.raises(TreeMatchError):
+            treematch(np.zeros((2, 2)), topo, algorithm="sideways")
+
+    def test_more_pus_than_processes_padded(self, topo):
+        # 6 processes over all 16 PUs: fakes fill the rest.
+        m = clique_matrix(3, 2)
+        pl = treematch(m, topo)
+        assert len(pl) == 6
+        assert len(set(pl)) == 6

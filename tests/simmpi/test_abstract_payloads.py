@@ -1,0 +1,118 @@
+"""Abstract (payload-free) buffers across every collective.
+
+Modeled workloads (CG classes C/D, the Fig. 5/6 kernels) never allocate
+their buffers; every collective must carry sizes faithfully without
+payloads.
+"""
+
+import pytest
+
+from repro.simmpi import SUM
+from repro.simmpi.datatypes import Buffer
+from tests.conftest import run_spmd
+
+
+def nbytes_of(x):
+    return x.nbytes if isinstance(x, Buffer) else None
+
+
+class TestAbstractCollectives:
+    @pytest.mark.parametrize("algorithm", ["binomial", "flat", "chain"])
+    def test_bcast(self, algorithm):
+        def prog(comm):
+            out = comm.bcast(None, root=0,
+                             nbytes=4096 if comm.rank == 0 else None,
+                             algorithm=algorithm)
+            return nbytes_of(out)
+
+        results, _ = run_spmd(prog, n_ranks=5)
+        assert results == [4096] * 5
+
+    @pytest.mark.parametrize("algorithm", ["binomial", "binary", "flat"])
+    def test_reduce(self, algorithm):
+        def prog(comm):
+            out = comm.reduce(None, SUM, root=2, nbytes=512,
+                              algorithm=algorithm)
+            return nbytes_of(out)
+
+        results, _ = run_spmd(prog, n_ranks=5)
+        assert results[2] == 512
+        assert results[0] is None
+
+    @pytest.mark.parametrize("algorithm", ["ring", "gather_bcast"])
+    def test_allgather(self, algorithm):
+        def prog(comm):
+            out = comm.allgather(None, nbytes=100, algorithm=algorithm)
+            return [nbytes_of(x) for x in out]
+
+        results, _ = run_spmd(prog, n_ranks=6)
+        assert results[0] == [100] * 6
+
+    def test_allgather_recursive_doubling(self):
+        def prog(comm):
+            out = comm.allgather(None, nbytes=100,
+                                 algorithm="recursive_doubling")
+            return [nbytes_of(x) for x in out]
+
+        results, _ = run_spmd(prog, n_ranks=8)
+        assert results[0] == [100] * 8
+
+    def test_allreduce(self):
+        def prog(comm):
+            return nbytes_of(comm.allreduce(None, SUM, nbytes=256))
+
+        results, _ = run_spmd(prog, n_ranks=4)
+        assert results == [256] * 4
+
+    def test_gather_scatter(self):
+        def prog(comm):
+            gathered = comm.gather(None, root=0, nbytes=64)
+            if comm.rank == 0:
+                assert [nbytes_of(x) for x in gathered] == [64] * comm.size
+            item = comm.scatter(
+                [Buffer.abstract(32)] * comm.size if comm.rank == 0 else None,
+                root=0)
+            return nbytes_of(item)
+
+        results, _ = run_spmd(prog, n_ranks=4)
+        assert results == [32] * 4
+
+    def test_alltoall(self):
+        def prog(comm):
+            out = comm.alltoall([None] * comm.size, nbytes=50)
+            return [nbytes_of(x) for x in out]
+
+        results, _ = run_spmd(prog, n_ranks=4)
+        assert results[0] == [50] * 4
+
+    def test_scan(self):
+        def prog(comm):
+            return nbytes_of(comm.scan(None, SUM, nbytes=80))
+
+        results, _ = run_spmd(prog, n_ranks=4)
+        assert results == [80] * 4
+
+    def test_reduce_scatter(self):
+        def prog(comm):
+            return nbytes_of(
+                comm.reduce_scatter([None] * comm.size, SUM, nbytes=40)
+            )
+
+        results, _ = run_spmd(prog, n_ranks=4)
+        assert results == [40] * 4
+
+    def test_sizes_drive_timing(self):
+        """Bigger abstract buffers must take longer — the whole point."""
+
+        def run(nbytes):
+            def prog(comm):
+                comm.barrier()
+                t0 = comm.time
+                comm.bcast(None, root=0,
+                           nbytes=nbytes if comm.rank == 0 else None)
+                return comm.time - t0
+
+            results, _ = run_spmd(prog, n_ranks=8)
+            return max(results)
+
+        assert run(10_000_000) > run(1_000) * 10

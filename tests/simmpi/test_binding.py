@@ -1,0 +1,79 @@
+"""Unit tests for rank→PU binding strategies."""
+
+import pytest
+
+from repro.simmpi.binding import (
+    explicit_binding,
+    make_binding,
+    packed_binding,
+    random_binding,
+    round_robin_binding,
+    validate_binding,
+)
+from repro.simmpi.topology import Topology
+
+
+@pytest.fixture
+def topo():
+    return Topology([("node", 2), ("socket", 2), ("core", 3)])  # 12 PUs
+
+
+def test_packed(topo):
+    assert packed_binding(topo, 5) == [0, 1, 2, 3, 4]
+
+
+def test_packed_full(topo):
+    assert packed_binding(topo, 12) == list(range(12))
+
+
+def test_packed_overflow(topo):
+    with pytest.raises(ValueError):
+        packed_binding(topo, 13)
+
+
+def test_round_robin_alternates_nodes(topo):
+    pus = round_robin_binding(topo, 6)
+    nodes = [topo.node_of(p) for p in pus]
+    assert nodes == [0, 1, 0, 1, 0, 1]
+
+
+def test_round_robin_fills_cores_in_order(topo):
+    pus = round_robin_binding(topo, 12)
+    assert sorted(pus) == list(range(12))
+    assert pus[0] == 0 and pus[1] == 6  # node 1 starts at PU 6
+
+
+def test_random_is_injective_and_seeded(topo):
+    a = random_binding(topo, 10, seed=3)
+    b = random_binding(topo, 10, seed=3)
+    c = random_binding(topo, 10, seed=4)
+    assert a == b
+    assert a != c
+    assert len(set(a)) == 10
+
+
+def test_explicit_roundtrip(topo):
+    pus = [5, 0, 11]
+    assert explicit_binding(topo, pus) == pus
+
+
+def test_validate_rejects_duplicates(topo):
+    with pytest.raises(ValueError):
+        validate_binding(topo, [0, 0, 1], 3)
+
+
+def test_validate_rejects_out_of_range(topo):
+    with pytest.raises(ValueError):
+        validate_binding(topo, [0, 99], 2)
+
+
+def test_validate_rejects_wrong_length(topo):
+    with pytest.raises(ValueError):
+        validate_binding(topo, [0, 1], 3)
+
+
+def test_make_binding_names(topo):
+    assert make_binding(topo, 4, "packed") == make_binding(topo, 4, "standard")
+    assert make_binding(topo, 4, "rr") == make_binding(topo, 4, "round_robin")
+    with pytest.raises(ValueError):
+        make_binding(topo, 4, "nope")

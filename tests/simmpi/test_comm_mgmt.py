@@ -1,0 +1,139 @@
+"""Unit tests for communicator management (split, dup, groups)."""
+
+import pytest
+
+from repro.simmpi import CommError, RankFailure
+from tests.conftest import run_spmd
+
+
+class TestSplit:
+    def test_even_odd_split(self):
+        def prog(comm):
+            sub = comm.split(color=comm.rank % 2, key=comm.rank)
+            return (sub.rank, sub.size, sub.group)
+
+        results, _ = run_spmd(prog, n_ranks=6)
+        assert results[0] == (0, 3, [0, 2, 4])
+        assert results[1] == (0, 3, [1, 3, 5])
+        assert results[4] == (2, 3, [0, 2, 4])
+
+    def test_key_orders_new_ranks(self):
+        def prog(comm):
+            sub = comm.split(color=0, key=-comm.rank)  # reversed order
+            return sub.rank
+
+        results, _ = run_spmd(prog, n_ranks=4)
+        assert results == [3, 2, 1, 0]
+
+    def test_key_ties_broken_by_old_rank(self):
+        def prog(comm):
+            sub = comm.split(color=0, key=0)
+            return sub.rank
+
+        results, _ = run_spmd(prog, n_ranks=4)
+        assert results == [0, 1, 2, 3]
+
+    def test_negative_color_returns_none(self):
+        def prog(comm):
+            sub = comm.split(color=-1 if comm.rank == 0 else 0, key=comm.rank)
+            return None if sub is None else sub.size
+
+        results, _ = run_spmd(prog, n_ranks=4)
+        assert results[0] is None
+        assert results[1] == 3
+
+    def test_same_object_shared_across_ranks(self):
+        def prog(comm):
+            sub = comm.split(color=comm.rank % 2, key=comm.rank)
+            return id(sub)
+
+        results, _ = run_spmd(prog, n_ranks=4)
+        assert results[0] == results[2]
+        assert results[1] == results[3]
+        assert results[0] != results[1]
+
+    def test_communication_within_split(self):
+        def prog(comm):
+            sub = comm.split(color=comm.rank // 2, key=comm.rank)
+            # Exchange within each pair via the sub-communicator.
+            peer = 1 - sub.rank
+            msg = sub.sendrecv(comm.rank, dest=peer, source=peer)
+            return msg.payload
+
+        results, _ = run_spmd(prog, n_ranks=4)
+        assert results == [1, 0, 3, 2]
+
+    def test_consecutive_splits_independent(self):
+        def prog(comm):
+            a = comm.split(color=0, key=comm.rank)
+            b = comm.split(color=0, key=comm.rank)
+            return a is b
+
+        results, _ = run_spmd(prog, n_ranks=2)
+        assert results == [False, False]
+
+
+class TestDup:
+    def test_dup_same_group_new_context(self):
+        def prog(comm):
+            d = comm.dup()
+            assert d.group == comm.group
+            assert d.id != comm.id
+            # Messages on the dup never match receives on the parent.
+            if comm.rank == 0:
+                d.send("on-dup", dest=1, tag=5)
+                comm.send("on-parent", dest=1, tag=5)
+            else:
+                parent_msg = comm.recv(source=0, tag=5)
+                dup_msg = d.recv(source=0, tag=5)
+                return (parent_msg.payload, dup_msg.payload)
+
+        results, _ = run_spmd(prog, n_ranks=2)
+        assert results[1] == ("on-parent", "on-dup")
+
+
+class TestGroups:
+    def test_world_rank_translation(self):
+        def prog(comm):
+            sub = comm.split(color=comm.rank % 2, key=comm.rank)
+            return [sub.world_rank(i) for i in range(sub.size)]
+
+        results, _ = run_spmd(prog, n_ranks=4)
+        assert results[0] == [0, 2]
+        assert results[1] == [1, 3]
+
+    def test_rank_for_non_member_raises(self):
+        def prog(comm):
+            comm.split(color=comm.rank % 2, key=comm.rank)
+            if comm.rank == 0:
+                # Peek at the other color's communicator via the shared
+                # registry: rank 0 is not a member, so .rank must fail.
+                other = comm.engine.comm_registry[("split", comm.id, 0, 1)]
+                try:
+                    other.rank
+                except CommError:
+                    return "raised"
+            return None
+
+        results, _ = run_spmd(prog, n_ranks=2)
+        assert results[0] == "raised"
+
+    def test_empty_group_rejected(self):
+        from repro.simmpi.comm import Communicator
+
+        class FakeEngine:
+            def alloc_comm_id(self):
+                return 0
+
+        with pytest.raises(CommError):
+            Communicator(FakeEngine(), [])
+
+    def test_duplicate_group_rejected(self):
+        from repro.simmpi.comm import Communicator
+
+        class FakeEngine:
+            def alloc_comm_id(self):
+                return 0
+
+        with pytest.raises(CommError):
+            Communicator(FakeEngine(), [0, 0, 1])

@@ -1,0 +1,110 @@
+"""Unit tests for message buffers, payload sizing and reduction ops."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi.datatypes import (
+    BYTE,
+    DOUBLE,
+    INT,
+    Buffer,
+    payload_nbytes,
+)
+from repro.simmpi.op import MAX, MIN, PROD, SUM, combine
+
+
+class TestPayloadNbytes:
+    def test_none_is_zero(self):
+        assert payload_nbytes(None) == 0
+
+    def test_ndarray(self):
+        assert payload_nbytes(np.zeros(10, dtype=np.float64)) == 80
+
+    def test_numpy_scalar(self):
+        assert payload_nbytes(np.float32(1.5)) == 4
+
+    def test_bytes(self):
+        assert payload_nbytes(b"abcd") == 4
+
+    def test_python_scalar(self):
+        assert payload_nbytes(3) == 8
+        assert payload_nbytes(2.5) == 8
+
+    def test_tuple_sums(self):
+        assert payload_nbytes((np.zeros(2), 1)) == 24
+
+    def test_dict_sums_values(self):
+        assert payload_nbytes({"a": np.zeros(2), "b": np.zeros(3)}) == 40
+
+    def test_opaque_object_fallback(self):
+        class X:
+            pass
+
+        assert payload_nbytes(X()) == 8
+
+
+class TestBuffer:
+    def test_wrap_array(self):
+        arr = np.arange(5, dtype=np.int32)
+        buf = Buffer.wrap(arr)
+        assert buf.nbytes == 20
+        assert buf.payload is arr
+
+    def test_abstract(self):
+        buf = Buffer.abstract(1234)
+        assert buf.is_abstract
+        assert buf.nbytes == 1234
+        assert buf.payload is None
+
+    def test_zero_byte_not_abstract(self):
+        assert not Buffer(None, nbytes=0).is_abstract
+
+    def test_explicit_nbytes_overrides(self):
+        assert Buffer(None, nbytes=7).nbytes == 7
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Buffer(None, nbytes=-1)
+
+    def test_wrap_buffer_conflicting_size(self):
+        buf = Buffer.abstract(10)
+        with pytest.raises(ValueError):
+            Buffer.wrap(buf, nbytes=20)
+
+    def test_copy_payload_copies_arrays(self):
+        arr = np.arange(3)
+        buf = Buffer(arr)
+        copy = buf.copy_payload()
+        copy[0] = 99
+        assert arr[0] == 0
+
+    def test_datatype_extents(self):
+        assert INT.extent == 4
+        assert DOUBLE.extent == 8
+        assert BYTE.extent == 1
+
+
+class TestOps:
+    def test_sum(self):
+        out = combine(SUM, Buffer(np.array([1.0, 2.0])), Buffer(np.array([3.0, 4.0])))
+        assert np.array_equal(out.payload, [4.0, 6.0])
+
+    def test_max_min(self):
+        a, b = Buffer(np.array([1, 9])), Buffer(np.array([5, 3]))
+        assert np.array_equal(combine(MAX, a, b).payload, [5, 9])
+        assert np.array_equal(combine(MIN, a, b).payload, [1, 3])
+
+    def test_prod_scalars(self):
+        assert combine(PROD, Buffer(np.float64(3)), Buffer(np.float64(4))).payload == 12
+
+    def test_abstract_stays_abstract(self):
+        out = combine(SUM, Buffer.abstract(64), Buffer.abstract(64))
+        assert out.is_abstract and out.nbytes == 64
+
+    def test_mixed_degrades_to_abstract(self):
+        out = combine(SUM, Buffer(np.zeros(8)), Buffer.abstract(64))
+        assert out.is_abstract and out.nbytes == 64
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            combine(SUM, Buffer(np.zeros(2)), Buffer(np.zeros(3)))

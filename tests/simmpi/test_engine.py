@@ -1,0 +1,147 @@
+"""Unit tests for the cooperative scheduler and virtual clocks."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi import (
+    Cluster,
+    DeadlockError,
+    Engine,
+    RankFailure,
+    SimError,
+    Topology,
+    current_process,
+)
+from tests.conftest import run_spmd
+
+
+class TestBasicExecution:
+    def test_results_in_rank_order(self):
+        results, _ = run_spmd(lambda comm: comm.rank * 10, n_ranks=4)
+        assert results == [0, 10, 20, 30]
+
+    def test_world_size(self):
+        results, _ = run_spmd(lambda comm: comm.size, n_ranks=6)
+        assert results == [6] * 6
+
+    def test_args_passed(self):
+        results, _ = run_spmd(lambda comm, x, y: x + y + comm.rank,
+                              n_ranks=2, args=(100, 1))
+        assert results == [101, 102]
+
+    def test_single_rank(self):
+        results, _ = run_spmd(lambda comm: comm.rank, n_ranks=1)
+        assert results == [0]
+
+    def test_engine_is_single_shot(self):
+        cluster = Cluster(Topology([("node", 1), ("core", 2)]), 2)
+        engine = Engine(cluster)
+        engine.run(lambda comm: None)
+        with pytest.raises(SimError):
+            engine.run(lambda comm: None)
+
+
+class TestVirtualTime:
+    def test_compute_advances_clock(self):
+        def prog(comm):
+            comm.compute(1.5)
+            comm.sleep(0.5)
+            return comm.time
+
+        results, engine = run_spmd(prog, n_ranks=2)
+        assert results == [2.0, 2.0]
+        assert engine.max_clock == 2.0
+
+    def test_clocks_start_at_zero(self):
+        results, _ = run_spmd(lambda comm: comm.time, n_ranks=2)
+        assert results == [0.0, 0.0]
+
+    def test_negative_advance_rejected(self):
+        def prog(comm):
+            comm.compute(-1.0)
+
+        with pytest.raises(RankFailure):
+            run_spmd(prog, n_ranks=1)
+
+    def test_clocks_listed_after_run(self):
+        def prog(comm):
+            comm.compute(comm.rank * 1.0)
+
+        _, engine = run_spmd(prog, n_ranks=3)
+        assert engine.clocks() == [0.0, 1.0, 2.0]
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_clocks(self):
+        def prog(comm):
+            me, n = comm.rank, comm.size
+            for it in range(5):
+                comm.sendrecv(np.float64(me), dest=(me + 1) % n,
+                              source=(me - 1) % n, sendtag=it, recvtag=it)
+            return comm.time
+
+        r1, _ = run_spmd(prog, n_ranks=6)
+        r2, _ = run_spmd(prog, n_ranks=6)
+        assert r1 == r2
+
+
+class TestFailures:
+    def test_rank_exception_wrapped(self):
+        def prog(comm):
+            if comm.rank == 2:
+                raise ValueError("boom")
+            comm.recv(source=comm.rank)  # would hang, must be aborted
+
+        with pytest.raises(RankFailure) as exc_info:
+            run_spmd(prog, n_ranks=4)
+        assert exc_info.value.rank == 2
+        assert isinstance(exc_info.value.original, ValueError)
+
+    def test_deadlock_detected(self):
+        def prog(comm):
+            comm.recv(source=(comm.rank + 1) % comm.size, tag=5)
+
+        with pytest.raises(DeadlockError) as exc_info:
+            run_spmd(prog, n_ranks=3)
+        assert len(exc_info.value.states) == 3
+
+    def test_partial_deadlock_detected(self):
+        def prog(comm):
+            if comm.rank == 0:
+                return None  # finishes immediately
+            comm.recv(source=0, tag=1)  # never sent
+
+        with pytest.raises(DeadlockError) as exc_info:
+            run_spmd(prog, n_ranks=3)
+        assert len(exc_info.value.states) == 2
+
+    def test_current_process_outside_simulation(self):
+        with pytest.raises(SimError):
+            current_process()
+
+
+class TestMonitoringOverheadCharge:
+    def test_no_charge_when_disabled(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(None, dest=1, nbytes=0)
+            elif comm.rank == 1:
+                comm.recv(source=0)
+            return comm.time
+
+        r_off, eng_off = run_spmd(prog, n_ranks=2, monitoring_overhead=1e-3)
+        assert eng_off.pml.mode == 0  # never enabled: no charge applied
+
+        def prog_on(comm):
+            comm.engine.pml.set_mode(1)
+            return prog(comm)
+
+        r_on, _ = run_spmd(prog_on, n_ranks=2, monitoring_overhead=1e-3)
+        assert r_on[0] >= r_off[0] + 1e-3
+
+    def test_switch_counter_grows(self):
+        def prog(comm):
+            comm.barrier()
+
+        _, engine = run_spmd(prog, n_ranks=4)
+        assert engine.switches > 4

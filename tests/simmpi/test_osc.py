@@ -1,0 +1,110 @@
+"""Unit tests for one-sided communication (windows)."""
+
+import numpy as np
+
+from repro.simmpi import SUM
+from tests.conftest import run_spmd
+
+
+class TestPutGet:
+    def test_put_visible_at_target(self):
+        def prog(comm):
+            win = comm.win_create(np.zeros(4))
+            if comm.rank == 0:
+                win.put(np.full(4, 7.0), target=1)
+            win.fence()
+            return None if win.local() is None else win.local().tolist()
+
+        results, _ = run_spmd(prog, n_ranks=2)
+        assert results[1] == [7.0] * 4
+
+    def test_get_reads_target_memory(self):
+        def prog(comm):
+            win = comm.win_create(np.full(3, float(comm.rank)))
+            win.fence()
+            if comm.rank == 0:
+                data = win.get(target=2)
+                return data.tolist()
+            return None
+
+        results, _ = run_spmd(prog, n_ranks=3)
+        assert results[0] == [2.0, 2.0, 2.0]
+
+    def test_get_returns_copy(self):
+        def prog(comm):
+            win = comm.win_create(np.zeros(2))
+            win.fence()
+            if comm.rank == 0:
+                got = win.get(target=1)
+                got[0] = 99.0
+            win.fence()
+            return None if win.local() is None else win.local()[0]
+
+        results, _ = run_spmd(prog, n_ranks=2)
+        assert results[1] == 0.0
+
+    def test_accumulate(self):
+        def prog(comm):
+            win = comm.win_create(np.array([10.0]))
+            win.fence()
+            if comm.rank == 1:
+                win.accumulate(np.array([5.0]), target=0, op=SUM)
+            win.fence()
+            return win.local()[0]
+
+        results, _ = run_spmd(prog, n_ranks=2)
+        assert results[0] == 15.0
+
+    def test_get_advances_clock_round_trip(self):
+        def prog(comm):
+            win = comm.win_create(np.zeros(1_000_000))
+            win.fence()
+            t0 = comm.time
+            if comm.rank == 0:
+                win.get(target=1)
+                return comm.time - t0
+            return 0.0
+
+        results, _ = run_spmd(prog, n_ranks=2)
+        assert results[0] > 0.0
+
+
+class TestMonitoringCategory:
+    def test_put_recorded_as_osc(self):
+        def prog(comm):
+            comm.engine.pml.set_mode(2)
+            win = comm.win_create(np.zeros(8))
+            if comm.rank == 0:
+                win.put(np.ones(8), target=1)
+            win.fence()
+
+        _, engine = run_spmd(prog, n_ranks=2)
+        counts = engine.pml.counts["osc"]
+        sizes = engine.pml.sizes["osc"]
+        assert sizes[0, 1] == 64
+        assert counts[0, 1] >= 1
+        assert engine.pml.totals("coll")[1] == 0
+
+    def test_get_booked_as_target_send(self):
+        def prog(comm):
+            comm.engine.pml.set_mode(2)
+            win = comm.win_create(np.zeros(4))
+            win.fence()
+            if comm.rank == 0:
+                win.get(target=1)
+            win.fence()
+
+        _, engine = run_spmd(prog, n_ranks=2)
+        # The data flows target -> origin, like an RDMA read on the wire.
+        assert engine.pml.sizes["osc"][1, 0] == 32
+
+    def test_fence_generates_zero_byte_osc_traffic(self):
+        def prog(comm):
+            comm.engine.pml.set_mode(2)
+            win = comm.win_create(None)
+            win.fence()
+
+        _, engine = run_spmd(prog, n_ranks=4)
+        count, size = engine.pml.totals("osc")
+        assert count > 0
+        assert size == 0

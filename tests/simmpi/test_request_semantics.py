@@ -1,0 +1,93 @@
+"""Request ownership and window lifecycle edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi import RankFailure, SimError
+from tests.conftest import run_spmd
+
+
+class TestRequestOwnership:
+    def test_wait_by_wrong_rank_rejected(self):
+        def prog(comm):
+            # Rank 0 posts a recv, leaks the request via the shared
+            # registry; rank 1 tries to wait on it.
+            if comm.rank == 0:
+                req = comm.irecv(source=1, tag=1)
+                comm.engine.comm_registry["leaked"] = req
+                comm.send(None, dest=1, nbytes=0, tag=2)  # signal
+                comm.recv(source=1, tag=3)
+                return None
+            comm.recv(source=0, tag=2)
+            req = comm.engine.comm_registry["leaked"]
+            try:
+                req.wait()
+            except SimError:
+                comm.send(None, dest=0, tag=3)
+                comm.send(None, dest=0, tag=1)  # unblock rank 0's request
+                return "caught"
+
+        results, _ = run_spmd(prog, n_ranks=2)
+        assert results[1] == "caught"
+
+    def test_send_request_wait_is_noop(self):
+        def prog(comm):
+            if comm.rank == 0:
+                req = comm.isend(None, dest=1, nbytes=10)
+                assert req.test() is True
+                assert req.wait() is None
+                return req.nbytes
+            comm.recv(source=0)
+
+        results, _ = run_spmd(prog, n_ranks=2)
+        assert results[0] == 10
+
+    def test_double_bind_guard(self):
+        from repro.simmpi.datatypes import Buffer
+        from repro.simmpi.match import Message
+        from repro.simmpi.request import RecvRequest
+
+        class FakeEngine:
+            def wake(self, proc):
+                pass
+
+        class FakeProc:
+            engine = FakeEngine()
+
+        req = RecvRequest(None, FakeProc(), 0, 0, "ctx")
+        msg = Message(0, 1, 0, "ctx", Buffer(None, nbytes=0), 0.0)
+        req.bind(msg)
+        with pytest.raises(SimError):
+            req.bind(msg)
+
+
+class TestWindowLifecycle:
+    def test_free_synchronizes(self):
+        def prog(comm):
+            win = comm.win_create(np.zeros(2))
+            comm.compute(float(comm.rank))
+            win.free()
+            return comm.time
+
+        results, _ = run_spmd(prog, n_ranks=4)
+        assert min(results) >= 3.0  # fence inside free waited for rank 3
+
+    def test_local_visible_after_fence(self):
+        def prog(comm):
+            win = comm.win_create(np.array([float(comm.rank)]))
+            win.fence()
+            return float(win.local()[0])
+
+        results, _ = run_spmd(prog, n_ranks=3)
+        assert results == [0.0, 1.0, 2.0]
+
+    def test_abstract_window(self):
+        def prog(comm):
+            win = comm.win_create(None, nbytes=1024)
+            if comm.rank == 0:
+                win.put(None, target=1, nbytes=512)
+            win.fence()
+            return win.local()
+
+        results, _ = run_spmd(prog, n_ranks=2)
+        assert results == [None, None]

@@ -1,0 +1,200 @@
+"""Tests for the post-mortem tracer and the MPI-IO substrate."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi import Cluster, Engine, RankFailure, Topology
+from repro.simmpi.io import File, FileSystem
+from repro.simmpi.trace import MessageTracer, TraceEvent
+from tests.conftest import run_spmd
+
+
+def traced_engine(n_ranks=4):
+    topo = Topology([("node", 2), ("socket", 2), ("core", 4)])
+    cluster = Cluster(topo, n_ranks)
+    engine = Engine(cluster)
+    tracer = MessageTracer.install(engine)
+    return engine, tracer
+
+
+class TestTracer:
+    def test_records_all_messages(self):
+        engine, tracer = traced_engine(2)
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(None, dest=1, nbytes=100)
+                comm.send(None, dest=1, nbytes=50)
+            else:
+                comm.recv(source=0)
+                comm.recv(source=0)
+
+        engine.run(prog)
+        assert len(tracer) == 2
+        assert tracer.size_matrix()[0, 1] == 150
+        assert tracer.count_matrix()[0, 1] == 2
+
+    def test_sees_messages_even_with_monitoring_off(self):
+        engine, tracer = traced_engine(4)
+
+        def prog(comm):
+            comm.barrier()
+
+        engine.run(prog)
+        assert engine.pml.mode == 0
+        assert engine.pml.totals("coll") == (0, 0)  # monitoring off...
+        assert len(tracer) == 8  # ...but the trace has everything
+
+    def test_categories_separated(self):
+        engine, tracer = traced_engine(4)
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(None, dest=1, nbytes=10)
+            elif comm.rank == 1:
+                comm.recv(source=0)
+            comm.barrier()
+
+        engine.run(prog)
+        assert tracer.count_matrix("p2p").sum() == 1
+        assert tracer.count_matrix("coll").sum() == 8
+        assert tracer.count_matrix().sum() == 9
+
+    def test_timeline_bins(self):
+        engine, tracer = traced_engine(2)
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(None, dest=1, nbytes=1000)
+                comm.sleep(0.1)
+                comm.send(None, dest=1, nbytes=2000)
+            else:
+                comm.recv(source=0)
+                comm.recv(source=0)
+
+        engine.run(prog)
+        times, vols = tracer.timeline(bin_seconds=0.05)
+        assert vols.sum() == 3000
+        assert vols[0] == 1000
+        assert vols[-1] == 2000
+
+    def test_per_rank_and_filter(self):
+        engine, tracer = traced_engine(3)
+
+        def prog(comm):
+            if comm.rank == 2:
+                comm.send(None, dest=0, nbytes=7)
+            elif comm.rank == 0:
+                comm.recv(source=2)
+
+        engine.run(prog)
+        assert tracer.per_rank_sent().tolist() == [0, 0, 7]
+        big = tracer.filtered(lambda e: e.nbytes > 5)
+        assert len(big) == 1 and big[0].src == 2
+
+    def test_dump_load_roundtrip(self, tmp_path):
+        engine, tracer = traced_engine(2)
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(None, dest=1, nbytes=42)
+            else:
+                comm.recv(source=0)
+
+        engine.run(prog)
+        path = str(tmp_path / "run.trace")
+        tracer.dump(path)
+        loaded = MessageTracer.load(path)
+        assert loaded.world_size == 2
+        assert loaded.events == tracer.events
+
+
+class TestFileSystem:
+    def test_write_read_roundtrip(self):
+        def prog(comm):
+            f = File.open(comm, "data.bin")
+            if comm.rank == 0:
+                f.write_at(0, np.arange(4, dtype=np.int32))
+            comm.barrier()
+            raw = f.read_at(0, 16)
+            f.close()
+            return raw
+
+        results, _ = run_spmd(prog, n_ranks=2)
+        arr = np.frombuffer(results[1], dtype=np.int32)
+        assert arr.tolist() == [0, 1, 2, 3]
+
+    def test_collective_write_offsets(self):
+        def prog(comm):
+            f = File.open(comm, "blocks.bin")
+            f.write_at_all(0, np.full(2, comm.rank, dtype=np.int64))
+            comm.barrier()
+            out = f.read_at(comm.rank * 16, 16)
+            f.close()
+            return np.frombuffer(out, dtype=np.int64).tolist()
+
+        results, _ = run_spmd(prog, n_ranks=4)
+        assert results == [[0, 0], [1, 1], [2, 2], [3, 3]]
+
+    def test_io_counters_via_pvars(self):
+        def prog(comm):
+            f = File.open(comm, "counted.bin")
+            f.write_at_all(0, None, nbytes=1000)
+            f.read_at_all(0, 500)
+            f.close()
+            sess = comm.engine.mpit.pvar_session_create()
+            h = sess.handle_alloc("io_monitoring_bytes_written", comm.rank)
+            written = int(h.read()[0])
+            h2 = sess.handle_alloc("io_monitoring_bytes_read", comm.rank)
+            read = int(h2.read()[0])
+            sess.free()
+            return (written, read)
+
+        results, _ = run_spmd(prog, n_ranks=3)
+        assert results == [(1000, 500)] * 3
+
+    def test_io_costs_time_and_serializes(self):
+        def prog(comm):
+            f = File.open(comm, "big.bin")
+            comm.barrier()
+            t0 = comm.time
+            f.write_at_all(0, None, nbytes=50_000_000)
+            comm.barrier()
+            f.close()
+            return comm.time - t0
+
+        results, _ = run_spmd(prog, n_ranks=4)
+        # 4 x 50 MB through a 5 GB/s shared FS: at least 40 ms.
+        assert max(results) >= 0.04
+
+    def test_abstract_write_size_tracked(self):
+        def prog(comm):
+            f = File.open(comm, "abs.bin")
+            if comm.rank == 0:
+                f.write_at(100, None, nbytes=1234)
+            comm.barrier()
+            size = f.size
+            f.close()
+            return size
+
+        results, _ = run_spmd(prog, n_ranks=2)
+        assert results == [1334, 1334]
+
+    def test_closed_file_rejected(self):
+        def prog(comm):
+            f = File.open(comm, "closed.bin")
+            f.close()
+            f.write_at(0, None, nbytes=1)
+
+        with pytest.raises(RankFailure):
+            run_spmd(prog, n_ranks=2)
+
+    def test_same_file_object_shared(self):
+        def prog(comm):
+            f = File.open(comm, "shared.bin")
+            fid = id(f)
+            f.close()
+            return fid
+
+        results, _ = run_spmd(prog, n_ranks=4)
+        assert len(set(results)) == 1

@@ -1,0 +1,49 @@
+"""The examples must stay runnable — execute the fast ones end to end."""
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: float = 240.0) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "total messages: 64" in out
+
+
+def test_session_tour():
+    out = run_example("session_tour.py")
+    assert "one-sided traffic only shows under MPI_M_OSC_ONLY" in out
+
+
+def test_collective_anatomy():
+    out = run_example("collective_anatomy.py")
+    assert "bcast (binomial)" in out
+    assert "barrier (dissemination)" in out
+
+
+@pytest.mark.slow
+def test_reorder_stencil():
+    out = run_example("reorder_stencil.py")
+    assert "speedup" in out
+
+
+@pytest.mark.slow
+def test_cg_reordering():
+    out = run_example("cg_reordering.py")
+    assert "zeta identical" in out

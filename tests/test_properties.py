@@ -1,0 +1,234 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.placement.grouping import greedy_group, symmetrize
+from repro.placement.mapping import (
+    apply_permutation,
+    invert_permutation,
+    is_permutation,
+    reorder_permutation,
+)
+from repro.placement.metrics import level_bytes
+from repro.placement.treematch import treematch
+from repro.simmpi import SUM
+from repro.simmpi.datatypes import Buffer, payload_nbytes
+from repro.simmpi.nic import NicCounters
+from repro.simmpi.topology import Topology
+from tests.conftest import run_spmd
+
+# ---------------------------------------------------------------------------
+# strategies
+
+level_lists = st.lists(
+    st.integers(min_value=1, max_value=4), min_size=1, max_size=4
+).map(lambda arities: Topology(
+    [(f"L{i}", a) for i, a in enumerate(arities)]
+))
+
+
+def square_matrix(n_max=12):
+    return st.integers(min_value=2, max_value=n_max).flatmap(
+        lambda n: st.lists(
+            st.lists(st.floats(min_value=0, max_value=1e6), min_size=n,
+                     max_size=n),
+            min_size=n, max_size=n,
+        ).map(lambda rows: np.array(rows))
+    )
+
+
+# ---------------------------------------------------------------------------
+# topology invariants
+
+
+@given(level_lists, st.data())
+def test_coords_roundtrip(topo, data):
+    pu = data.draw(st.integers(min_value=0, max_value=topo.n_pus - 1))
+    coords = topo.coords(pu)
+    # Reconstruct the PU from its per-level coordinates.
+    acc = 0
+    for c, arity in zip(coords, topo.arities):
+        acc = acc * arity + c
+    assert acc == pu
+
+
+@given(level_lists, st.data())
+def test_common_depth_symmetric_and_bounded(topo, data):
+    a = data.draw(st.integers(0, topo.n_pus - 1))
+    b = data.draw(st.integers(0, topo.n_pus - 1))
+    d = topo.common_depth(a, b)
+    assert d == topo.common_depth(b, a)
+    assert 0 <= d <= topo.depth
+    assert (d == topo.depth) == (a == b)
+
+
+@given(level_lists, st.data())
+def test_hop_distance_triangle_inequality(topo, data):
+    pus = [data.draw(st.integers(0, topo.n_pus - 1)) for _ in range(3)]
+    a, b, c = pus
+    assert topo.hop_distance(a, c) <= (
+        topo.hop_distance(a, b) + topo.hop_distance(b, c)
+    )
+
+
+# ---------------------------------------------------------------------------
+# grouping / placement invariants
+
+
+@given(square_matrix(), st.data())
+def test_greedy_group_is_partition(m, data):
+    n = m.shape[0]
+    w = symmetrize(m)
+    sizes = []
+    left = n
+    while left > 0:
+        s = data.draw(st.integers(1, left))
+        sizes.append(s)
+        left -= s
+    groups = greedy_group(w, sizes)
+    assert [len(g) for g in groups] == sizes
+    assert sorted(sum(groups, [])) == list(range(n))
+
+
+@given(square_matrix(n_max=8))
+@settings(suppress_health_check=[HealthCheck.filter_too_much], deadline=None)
+def test_treematch_placement_valid(m):
+    n = m.shape[0]
+    topo = Topology([("node", 2), ("socket", 2), ("core", max(2, (n + 3) // 4))])
+    placement = treematch(m, topo)
+    assert len(placement) == n
+    assert len(set(placement)) == n
+    assert all(0 <= p < topo.n_pus for p in placement)
+
+
+@given(st.permutations(list(range(8))))
+def test_permutation_inverse_roundtrip(perm):
+    k = np.array(perm)
+    assert is_permutation(k)
+    inv = invert_permutation(k)
+    assert np.array_equal(invert_permutation(inv), k)
+    assert np.array_equal(k[inv], np.arange(8))
+
+
+@given(st.permutations(list(range(6))), square_matrix(n_max=6))
+def test_apply_permutation_preserves_mass(perm, m):
+    if m.shape[0] != 6:
+        m = np.resize(m, (6, 6))
+    out = apply_permutation(m, np.array(perm))
+    assert out.sum() == pytest.approx(m.sum())
+    assert sorted(out.reshape(-1)) == pytest.approx(sorted(m.reshape(-1)))
+
+
+@given(st.permutations(list(range(8))))
+def test_reorder_permutation_places_roles(perm):
+    # placement[j] = PU of role j, ranks sit on PUs 0..7 in order.
+    placement = list(perm)
+    k = reorder_permutation(placement, list(range(8)))
+    # Role k[i] must map to rank i's PU.
+    for i in range(8):
+        assert placement[k[i]] == i
+
+
+@given(square_matrix(n_max=8), st.data())
+def test_level_bytes_partitions_total(m, data):
+    n = m.shape[0]
+    topo = Topology([("node", 2), ("socket", 2), ("core", max(2, (n + 3) // 4))])
+    pus = data.draw(st.permutations(list(range(topo.n_pus)))).copy()[:n]
+    np.fill_diagonal(m, 0.0)
+    lb = level_bytes(m, topo, pus)
+    assert sum(lb.values()) == pytest.approx(m.sum())
+
+
+# ---------------------------------------------------------------------------
+# buffers and counters
+
+
+@given(st.one_of(
+    st.none(),
+    st.integers(),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.binary(max_size=64),
+    st.lists(st.integers(), max_size=8),
+))
+def test_payload_nbytes_nonnegative(payload):
+    assert payload_nbytes(payload) >= 0
+
+
+@given(st.integers(min_value=0, max_value=10**12))
+def test_abstract_buffer_size_preserved(n):
+    assert Buffer.abstract(n).nbytes == n
+
+
+@given(st.lists(st.tuples(st.floats(0, 100), st.integers(0, 10**6)),
+                min_size=1, max_size=40))
+def test_nic_counter_monotone(events):
+    nic = NicCounters(1)
+    for t, b in events:
+        nic.record_xmit(0, t, b)
+    times = sorted({t for t, _ in events} | {0.0, 101.0})
+    values = [nic.xmit_bytes(0, t) for t in times]
+    assert all(a <= b for a, b in zip(values, values[1:]))
+    assert values[-1] == sum(b for _, b in events)
+
+
+# ---------------------------------------------------------------------------
+# runtime invariants (slower: a few engine runs)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=2, max_value=8), st.integers(0, 3))
+def test_allreduce_equals_sum_of_ranks(n, algo_seed):
+    def prog(comm):
+        return float(comm.allreduce(np.float64(comm.rank + 1), SUM))
+
+    results, _ = run_spmd(prog, n_ranks=n)
+    assert results == [sum(range(1, n + 1))] * n
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.lists(st.integers(0, 255), min_size=1, max_size=16),
+       st.integers(min_value=2, max_value=6))
+def test_bcast_delivers_exact_bytes(data_list, n):
+    payload = bytes(data_list)
+
+    def prog(comm):
+        return comm.bcast(payload if comm.rank == 0 else None, root=0)
+
+    results, _ = run_spmd(prog, n_ranks=n)
+    assert all(r == payload for r in results)
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(min_value=2, max_value=8))
+def test_monitoring_conservation(n):
+    """Bytes recorded by a session == bytes the program sent."""
+    from repro.core import api as mapi
+    from repro.core.constants import Flags
+
+    def prog(comm):
+        mapi.mpi_m_init()
+        _, msid = mapi.mpi_m_start(comm)
+        sent = 0
+        me = comm.rank
+        for d in range(comm.size):
+            if d != me:
+                nb = (me * 7 + d) % 13
+                comm.isend(None, dest=d, tag=1, nbytes=nb)
+                sent += nb
+        for s in range(comm.size):
+            if s != me:
+                comm.recv(source=s, tag=1)
+        mapi.mpi_m_suspend(msid)
+        _, counts, sizes = mapi.mpi_m_get_data(msid, flags=Flags.P2P_ONLY)
+        mapi.mpi_m_free(msid)
+        mapi.mpi_m_finalize()
+        return (sent, int(sizes.sum()), int(counts.sum()))
+
+    results, _ = run_spmd(prog, n_ranks=n)
+    for sent, recorded, count in results:
+        assert recorded == sent
+        assert count == n - 1
