@@ -1,0 +1,70 @@
+"""Bench: simulator hot path (engine + network + monitoring).
+
+Unlike the figure benchmarks, these measure the *simulator's* wall-clock
+cost directly — messages materialized per second through the fused
+send/transfer/deliver path — on three shapes: a point-to-point
+ping-pong (pure engine overhead), a segmented tree broadcast (the
+Fig. 5 inner loop, batched monitoring), and the same broadcast with a
+monitoring session open (per-record cost on top).
+
+Run with ``--benchmark-disable`` for a plain smoke test (CI does).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import once
+from repro.simmpi import Cluster, Engine
+
+
+def _pingpong(iters: int = 400):
+    cluster = Cluster.plafrim(2, binding="rr")
+    engine = Engine(cluster, seed=0)
+
+    def program(comm):
+        me, n = comm.rank, comm.size
+        for it in range(iters):
+            comm.sendrecv(None, dest=(me + 1) % n, source=(me - 1) % n,
+                          sendtag=it, recvtag=it, nbytes=1_000)
+        return comm.time
+
+    engine.run(program)
+    return engine
+
+
+def _segmented_bcast(monitored: bool, reps: int = 6):
+    cluster = Cluster.plafrim(2, binding="rr")
+    engine = Engine(cluster, seed=0)
+
+    def program(comm):
+        if monitored:
+            comm.engine.pml.set_mode(2)
+        for _ in range(reps):
+            comm.bcast(None, root=0,
+                       nbytes=8_000_000 if comm.rank == 0 else None)
+        return comm.time
+
+    engine.run(program)
+    return engine
+
+
+def test_hotpath_p2p_pingpong(benchmark):
+    engine = once(benchmark, _pingpong)
+    assert engine.messages == 400 * engine.n_ranks
+    print(f"\np2p: {engine.messages} messages, {engine.switches} switches")
+
+
+def test_hotpath_segmented_bcast(benchmark):
+    engine = once(benchmark, _segmented_bcast, monitored=False)
+    assert engine.messages > 0
+    assert engine.pml.totals("coll") == (0, 0)  # monitoring off
+    print(f"\nbcast: {engine.messages} messages, {engine.switches} switches")
+
+
+def test_hotpath_monitored_bcast(benchmark):
+    engine = once(benchmark, _segmented_bcast, monitored=True)
+    n_msgs, n_bytes = engine.pml.totals("coll")
+    assert n_msgs == engine.messages  # every segment recorded
+    assert n_bytes > 0
+    print(f"\nmonitored bcast: {n_msgs} records, {n_bytes} bytes")

@@ -1,0 +1,75 @@
+"""Capture golden values for the hot-path equivalence tests.
+
+Runs a set of small but representative workloads (Fig. 5- and Fig. 6-
+shaped, plus a mixed kernel with monitoring and jitter) and dumps every
+per-rank virtual clock, monitoring matrix, and NIC counter to
+``tests/golden/hotpath_golden.json``.  Floats are stored in ``float.hex``
+form so the comparison in ``tests/simmpi/test_hotpath_equivalence.py``
+is bit-exact, not approximate.
+
+The checked-in JSON was produced by the *pre-optimization* (seed)
+implementation; the optimized hot path must reproduce it exactly.
+Re-run this script only to add new workloads — never to paper over a
+regression in the existing ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+
+OUT = os.path.join(os.path.dirname(__file__), "..", "tests", "golden",
+                   "hotpath_golden.json")
+
+
+def _matrix_digest(m: np.ndarray) -> str:
+    return hashlib.sha256(np.ascontiguousarray(m).tobytes()).hexdigest()
+
+
+def snapshot_engine(engine) -> dict:
+    """Everything the equivalence test compares, in bit-exact form."""
+    from repro.simmpi.pml_monitoring import CATEGORIES
+
+    nic = engine.network.nic
+    return {
+        "clocks": [float.hex(c) for c in engine.clocks()],
+        "max_clock": float.hex(engine.max_clock),
+        "counts": {c: _matrix_digest(engine.pml.counts[c]) for c in CATEGORIES},
+        "sizes": {c: _matrix_digest(engine.pml.sizes[c]) for c in CATEGORIES},
+        "totals": {c: list(engine.pml.totals(c)) for c in CATEGORIES},
+        "nic_xmit": [nic.total_xmit_bytes(n) for n in range(nic.n_nodes)],
+        "switches": engine.switches,
+    }
+
+
+def run_workloads() -> dict:
+    from tests.golden.hotpath_workloads import WORKLOADS
+
+    out = {}
+    for name, build in WORKLOADS.items():
+        engine, results = build()
+        snap = snapshot_engine(engine)
+        snap["results"] = results
+        out[name] = snap
+        print(f"{name}: max_clock={engine.max_clock:.6g} "
+              f"switches={engine.switches}")
+    return out
+
+
+def main() -> None:
+    data = run_workloads()
+    os.makedirs(os.path.dirname(OUT), exist_ok=True)
+    with open(OUT, "w", encoding="ascii") as fh:
+        json.dump(data, fh, indent=1, sort_keys=True)
+    print(f"wrote {os.path.normpath(OUT)}")
+
+
+if __name__ == "__main__":
+    main()

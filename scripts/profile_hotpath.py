@@ -1,0 +1,72 @@
+"""Profile the simulator hot path and print the top functions.
+
+``cProfile`` only observes the thread it was started in, but the
+engine's work happens on one worker thread per rank — profiling
+``engine.run`` from the outside shows nothing but a semaphore wait.
+This script patches ``Engine._thread_main`` so every rank thread runs
+under its own profiler, merges the per-thread stats, and prints the
+top entries by cumulative time for the Fig. 5-shaped golden workload.
+
+Usage::
+
+    PYTHONPATH=src python scripts/profile_hotpath.py [workload] [top_n]
+
+where ``workload`` is a key of the golden workload table
+(default: ``fig5_shaped``).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+import pstats
+import sys
+import threading
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+
+
+def main() -> None:
+    from repro.simmpi.engine import Engine
+    from tests.golden.hotpath_workloads import WORKLOADS
+
+    workload = sys.argv[1] if len(sys.argv) > 1 else "fig5_shaped"
+    top_n = int(sys.argv[2]) if len(sys.argv) > 2 else 20
+    if workload not in WORKLOADS:
+        sys.exit(f"unknown workload {workload!r}; "
+                 f"choose from {', '.join(sorted(WORKLOADS))}")
+
+    profiles = []
+    lock = threading.Lock()
+    orig = Engine._thread_main
+
+    def patched(self, *args, **kwargs):
+        prof = cProfile.Profile()
+        prof.enable()
+        try:
+            return orig(self, *args, **kwargs)
+        finally:
+            prof.disable()
+            with lock:
+                profiles.append(prof)
+
+    Engine._thread_main = patched
+    try:
+        engine, _ = WORKLOADS[workload]()
+    finally:
+        Engine._thread_main = orig
+
+    stats = pstats.Stats(profiles[0])
+    for prof in profiles[1:]:
+        stats.add(prof)
+    stats.sort_stats("cumulative")
+    print(f"\n{workload}: {engine.messages} messages, "
+          f"{engine.switches} switches, max_clock={engine.max_clock:.6g}")
+    print(f"top {top_n} by cumulative time across "
+          f"{len(profiles)} rank threads:\n")
+    stats.print_stats(top_n)
+
+
+if __name__ == "__main__":
+    main()

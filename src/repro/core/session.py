@@ -72,6 +72,9 @@ class Session:
         }
         self._snap_counts: Dict[str, np.ndarray] = {}
         self._snap_sizes: Dict[str, np.ndarray] = {}
+        # Pvar write-epoch at snapshot time, per category; lets
+        # suspend/resume skip categories that have not changed.
+        self._snap_epochs: Dict[str, Optional[int]] = {}
         self._take_snapshot()
 
     # -- state transitions --------------------------------------------------
@@ -80,6 +83,13 @@ class Session:
         if self.state != Session.ACTIVE:
             raise MultipleCall(f"suspend on a {self.state} session")
         for cat in CATEGORIES:
+            # Cheap probe first: if the category's write epoch has not
+            # moved since the snapshot, the diff is zero — skip the two
+            # array copies and the subtraction (the common case for osc
+            # and, in point-to-point phases, coll).
+            epoch = self.runtime.pvar_epoch(cat)
+            if epoch is not None and epoch == self._snap_epochs.get(cat):
+                continue
             counts, sizes = self.runtime.read_pvars(cat)
             self._acc_counts[cat] += counts - self._snap_counts[cat]
             self._acc_sizes[cat] += sizes - self._snap_sizes[cat]
@@ -105,9 +115,16 @@ class Session:
 
     def _take_snapshot(self) -> None:
         for cat in CATEGORIES:
+            epoch = self.runtime.pvar_epoch(cat)
+            if (epoch is not None and cat in self._snap_counts
+                    and epoch == self._snap_epochs.get(cat)):
+                # Unchanged since the previous snapshot (idle category
+                # across a suspend/continue cycle): keep it.
+                continue
             counts, sizes = self.runtime.read_pvars(cat)
             self._snap_counts[cat] = counts
             self._snap_sizes[cat] = sizes
+            self._snap_epochs[cat] = epoch
 
     # -- data access -----------------------------------------------------------
 
@@ -220,3 +237,10 @@ class MonitoringRuntime:
     def read_pvars(self, category: str) -> Tuple[np.ndarray, np.ndarray]:
         hc, hs = self._handles[category]
         return hc.read(), hs.read()
+
+    def pvar_epoch(self, category: str) -> Optional[int]:
+        """The category's write epoch (count and size pvars share one),
+        or None when the variable does not track versions.  Reading the
+        epoch settles the caller's deferred send but copies nothing."""
+        hc, _hs = self._handles[category]
+        return hc.version()

@@ -60,7 +60,9 @@ def _measure(comm, op: str, n_ints: int, reps: int = 3) -> float:
         comm.barrier()
         t = collective_kernel(comm, op, n_ints)
         times.append(t)
-    local = float(np.median(times))
+    # np.median of a single sample is that sample; skip the array
+    # round-trip for the common reps=1 sweep.
+    local = times[0] if len(times) == 1 else float(np.median(times))
     from repro.simmpi.op import MAX as MAXOP
 
     if op == "reduce":

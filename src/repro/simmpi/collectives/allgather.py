@@ -63,15 +63,19 @@ def _ring(comm, buf: Buffer, ctx) -> Dict[int, Buffer]:
     right = (me + 1) % size
     left = (me - 1) % size
     pieces: Dict[int, Buffer] = {me: buf}
+    # The ring's per-peer decomposition is regular — size-1 pieces, all
+    # to the right neighbour: the whole rotation tallies into one batch.
+    batch = comm._open_peer_batch(right, "coll")
     # Step k: forward the piece received at step k-1 (own piece first).
     forward = me
     for step in range(size - 1):
-        req = comm._irecv(left, tag=step, context=ctx)
-        comm._isend(pieces[forward], right, tag=step, context=ctx, category="coll")
+        req = comm._irecv(left, step, ctx)
+        comm._isend(pieces[forward], right, step, ctx, "coll", batch)
         msg = req.wait()
         incoming = (left - step) % size  # origin of the piece at this step
         pieces[incoming] = msg.buf
         forward = incoming
+    comm._close_peer_batch(batch)
     return pieces
 
 
@@ -81,8 +85,8 @@ def _recursive_doubling(comm, buf: Buffer, ctx) -> Dict[int, Buffer]:
     mask = 1
     while mask < size:
         peer = me ^ mask
-        req = comm._irecv(peer, tag=mask, context=ctx)
-        comm._isend(_piece_message(pieces), peer, tag=mask, context=ctx, category="coll")
+        req = comm._irecv(peer, mask, ctx)
+        comm._isend(_piece_message(pieces), peer, mask, ctx, "coll")
         msg = req.wait()
         pieces.update(msg.payload)
         mask <<= 1
@@ -108,9 +112,8 @@ def _bruck(comm, buf: Buffer, ctx) -> Dict[int, Buffer]:
         # to `dist` pieces starting at my own rank.
         window = [(me + j) % size for j in range(min(dist, size))]
         tosend = {r: pieces[r] for r in window if r in pieces}
-        req = comm._irecv(src, tag=k, context=ctx)
-        comm._isend(_piece_message(tosend), dst, tag=k, context=ctx,
-                    category="coll")
+        req = comm._irecv(src, k, ctx)
+        comm._isend(_piece_message(tosend), dst, k, ctx, "coll")
         msg = req.wait()
         pieces.update(msg.payload)
         k += 1

@@ -83,8 +83,8 @@ def allreduce(
     mask = 1
     while mask < size:
         peer = me ^ mask
-        req = comm._irecv(peer, tag=mask, context=ctx)
-        comm._isend(buf, peer, tag=mask, context=ctx, category="coll")
+        req = comm._irecv(peer, mask, ctx)
+        comm._isend(buf, peer, mask, ctx, "coll")
         msg = req.wait()
         buf = combine(op, buf, msg.buf)
         mask <<= 1

@@ -42,19 +42,19 @@ def alltoall(
                 peer = (me + step) % size
                 # shift pattern: receive from the mirrored peer
             recv_from = peer if xor_mode else (me - step) % size
-            req = comm._irecv(recv_from, tag=step, context=ctx)
-            comm._isend(bufs[peer], peer, tag=step, context=ctx, category="coll")
+            req = comm._irecv(recv_from, step, ctx)
+            comm._isend(bufs[peer], peer, step, ctx, "coll")
             msg = req.wait()
             out[recv_from] = unwrap(msg.buf)
     else:
         reqs = [
-            comm._irecv(src, tag=0, context=ctx)
+            comm._irecv(src, 0, ctx)
             for src in range(size)
             if src != me
         ]
         for dst in range(size):
             if dst != me:
-                comm._isend(bufs[dst], dst, tag=0, context=ctx, category="coll")
+                comm._isend(bufs[dst], dst, 0, ctx, "coll")
         for req in reqs:
             msg = req.wait()
             out[msg.src] = unwrap(msg.buf)

@@ -42,8 +42,8 @@ def _dissemination(comm, ctx) -> None:
         dist = 1 << k
         dst = (me + dist) % size
         src = (me - dist) % size
-        req = comm._irecv(src, tag=k, context=ctx)
-        comm._isend(_TOKEN, dst, tag=k, context=ctx, category="coll")
+        req = comm._irecv(src, k, ctx)
+        comm._isend(_TOKEN, dst, k, ctx, "coll")
         req.wait()
 
 
@@ -56,21 +56,20 @@ def _tree(comm, ctx) -> None:
         if me & mask == 0:
             src = me | mask
             if src < size:
-                comm._irecv(src, tag=mask, context=ctx).wait()
+                comm._irecv(src, mask, ctx).wait()
         else:
-            comm._isend(_TOKEN, me & ~mask, tag=mask, context=ctx, category="coll")
+            comm._isend(_TOKEN, me & ~mask, mask, ctx, "coll")
             break
         mask <<= 1
     # Fan-out (release), reusing the binomial broadcast structure.
     mask = 1
     while mask < size:
         if me & mask:
-            comm._irecv(me - mask, tag=size + mask, context=ctx).wait()
+            comm._irecv(me - mask, size + mask, ctx).wait()
             break
         mask <<= 1
     mask >>= 1
     while mask > 0:
         if me + mask < size:
-            comm._isend(_TOKEN, me + mask, tag=size + mask, context=ctx,
-                        category="coll")
+            comm._isend(_TOKEN, me + mask, size + mask, ctx, "coll")
         mask >>= 1

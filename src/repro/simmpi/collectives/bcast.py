@@ -94,6 +94,10 @@ def _binomial(comm, buf: Optional[Buffer], root: int, ctx, segments) -> Buffer:
     nseg = _segment_count(comm, buf, root, segments, ctx)
     parent = unvrank(vr - recv_mask, root, size) if recv_mask else None
 
+    # Per-edge accounting is regular (nseg segments, whole buffer):
+    # every segment send to a child tallies into one per-child batch.
+    batches = {c: comm._open_peer_batch(c, "coll") for c in children}
+
     if parent is None:
         pieces = split_buffer(buf, nseg)
         hdr = Buffer(("BCAST_HDR", nseg, pieces[0].payload),
@@ -101,11 +105,13 @@ def _binomial(comm, buf: Optional[Buffer], root: int, ctx, segments) -> Buffer:
         for s, piece in enumerate(pieces):
             wire = hdr if s == 0 else piece
             for child in children:
-                comm._isend(wire, child, tag=s, context=ctx, category="coll")
+                comm._isend(wire, child, s, ctx, "coll", batches[child])
+        for child in children:
+            comm._close_peer_batch(batches[child])
         return buf
 
     # Receivers: segment 0 carries the segment count in its header.
-    msg0 = comm._irecv(parent, tag=0, context=ctx).wait()
+    msg0 = comm._irecv(parent, 0, ctx).wait()
     payload0 = msg0.payload
     if isinstance(payload0, tuple) and len(payload0) == 3 and \
             payload0[0] == "BCAST_HDR":
@@ -115,12 +121,14 @@ def _binomial(comm, buf: Optional[Buffer], root: int, ctx, segments) -> Buffer:
         nseg = 1
         pieces = [msg0.buf]
     for child in children:
-        comm._isend(msg0.buf, child, tag=0, context=ctx, category="coll")
+        comm._isend(msg0.buf, child, 0, ctx, "coll", batches[child])
     for s in range(1, nseg):
-        msg = comm._irecv(parent, tag=s, context=ctx).wait()
+        msg = comm._irecv(parent, s, ctx).wait()
         pieces.append(msg.buf)
         for child in children:
-            comm._isend(msg.buf, child, tag=s, context=ctx, category="coll")
+            comm._isend(msg.buf, child, s, ctx, "coll", batches[child])
+    for child in children:
+        comm._close_peer_batch(batches[child])
     if nseg == 1:
         return pieces[0]
     return join_payloads(pieces, pieces[0])
@@ -131,9 +139,9 @@ def _flat(comm, buf: Optional[Buffer], root: int, ctx) -> Buffer:
     if me == root:
         for dst in range(size):
             if dst != root:
-                comm._isend(buf, dst, tag=0, context=ctx, category="coll")
+                comm._isend(buf, dst, 0, ctx, "coll")
         return buf
-    return comm._irecv(root, tag=0, context=ctx).wait().buf
+    return comm._irecv(root, 0, ctx).wait().buf
 
 
 def _chain(comm, buf: Optional[Buffer], root: int, ctx) -> Buffer:
@@ -141,8 +149,8 @@ def _chain(comm, buf: Optional[Buffer], root: int, ctx) -> Buffer:
     vr = vrank(me, root, size)
     if vr > 0:
         src = unvrank(vr - 1, root, size)
-        buf = comm._irecv(src, tag=0, context=ctx).wait().buf
+        buf = comm._irecv(src, 0, ctx).wait().buf
     if vr + 1 < size:
         dst = unvrank(vr + 1, root, size)
-        comm._isend(buf, dst, tag=0, context=ctx, category="coll")
+        comm._isend(buf, dst, 0, ctx, "coll")
     return buf

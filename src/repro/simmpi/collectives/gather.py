@@ -55,11 +55,11 @@ def _binomial(comm, buf: Buffer, root: int, ctx) -> Optional[Dict[int, Buffer]]:
         if vr & mask == 0:
             src_v = vr | mask
             if src_v < size:
-                msg = comm._irecv(unvrank(src_v, root, size), tag=mask, context=ctx).wait()
+                msg = comm._irecv(unvrank(src_v, root, size), mask, ctx).wait()
                 table.update(msg.payload)
         else:
             dst = unvrank(vr & ~mask, root, size)
-            comm._isend(_pack(table), dst, tag=mask, context=ctx, category="coll")
+            comm._isend(_pack(table), dst, mask, ctx, "coll")
             return None
         mask <<= 1
     return table
@@ -68,11 +68,11 @@ def _binomial(comm, buf: Buffer, root: int, ctx) -> Optional[Dict[int, Buffer]]:
 def _linear(comm, buf: Buffer, root: int, ctx) -> Optional[Dict[int, Buffer]]:
     me, size = comm.rank, comm.size
     if me != root:
-        comm._isend(buf, root, tag=0, context=ctx, category="coll")
+        comm._isend(buf, root, 0, ctx, "coll")
         return None
     table: Dict[int, Buffer] = {me: buf}
     for src in range(size):
         if src == root:
             continue
-        table[src] = comm._irecv(src, tag=0, context=ctx).wait().buf
+        table[src] = comm._irecv(src, 0, ctx).wait().buf
     return table

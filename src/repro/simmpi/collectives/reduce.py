@@ -99,16 +99,20 @@ def _tree_reduce(comm, buf: Buffer, op: Op, root: int, ctx, nseg: int,
 
     pieces = split_buffer(buf, nseg)
     out: List[Buffer] = []
+    # Regular per-edge decomposition: the nseg segment sends to the
+    # parent tally into one batch.
+    batch = None if parent is None else comm._open_peer_batch(parent, "coll")
     for s, piece in enumerate(pieces):
         acc = piece
         for child in children:
-            msg = comm._irecv(child, tag=s, context=ctx).wait()
+            msg = comm._irecv(child, s, ctx).wait()
             acc = combine(op, acc, msg.buf)
         if parent is not None:
-            comm._isend(acc, parent, tag=s, context=ctx, category="coll")
+            comm._isend(acc, parent, s, ctx, "coll", batch)
         else:
             out.append(acc)
     if parent is not None:
+        comm._close_peer_batch(batch)
         return None
     if nseg == 1:
         return out[0]
@@ -118,11 +122,11 @@ def _tree_reduce(comm, buf: Buffer, op: Op, root: int, ctx, nseg: int,
 def _flat(comm, buf: Buffer, op: Op, root: int, ctx) -> Optional[Buffer]:
     me, size = comm.rank, comm.size
     if me != root:
-        comm._isend(buf, root, tag=0, context=ctx, category="coll")
+        comm._isend(buf, root, 0, ctx, "coll")
         return None
     for src in range(size):
         if src == root:
             continue
-        msg = comm._irecv(src, tag=0, context=ctx).wait()
+        msg = comm._irecv(src, 0, ctx).wait()
         buf = combine(op, buf, msg.buf)
     return buf

@@ -29,9 +29,9 @@ def scan(comm, value: Any, op: Op, nbytes: Optional[int] = None) -> Any:
         # Send the running prefix downstream, receive from upstream.
         req = None
         if me - dist >= 0:
-            req = comm._irecv(me - dist, tag=dist, context=ctx)
+            req = comm._irecv(me - dist, dist, ctx)
         if me + dist < size:
-            comm._isend(acc, me + dist, tag=dist, context=ctx, category="coll")
+            comm._isend(acc, me + dist, dist, ctx, "coll")
         if req is not None:
             msg = req.wait()
             acc = combine(op, msg.buf, acc)
@@ -51,10 +51,9 @@ def exscan(comm, value: Any, op: Op, nbytes: Optional[int] = None) -> Any:
         send_buf = mine if acc is None else combine(op, acc, mine)
         req = None
         if me - dist >= 0:
-            req = comm._irecv(me - dist, tag=dist, context=ctx)
+            req = comm._irecv(me - dist, dist, ctx)
         if me + dist < size:
-            comm._isend(send_buf, me + dist, tag=dist, context=ctx,
-                        category="coll")
+            comm._isend(send_buf, me + dist, dist, ctx, "coll")
         if req is not None:
             msg = req.wait()
             acc = msg.buf if acc is None else combine(op, msg.buf, acc)
@@ -94,9 +93,9 @@ def reduce_scatter(comm, values: List[Any], op: Op,
                 keep = (mid, hi)
             payload = {j: bufs[j] for j in send_idx}
             total = sum(b.nbytes for b in payload.values())
-            req = comm._irecv(partner, tag=hi - lo, context=ctx)
-            comm._isend(Buffer(payload, nbytes=total), partner, tag=hi - lo,
-                        context=ctx, category="coll")
+            req = comm._irecv(partner, hi - lo, ctx)
+            comm._isend(Buffer(payload, nbytes=total), partner, hi - lo, ctx,
+                        "coll")
             msg = req.wait()
             for j, b in msg.payload.items():
                 bufs[j] = combine(op, bufs[j], b)

@@ -61,7 +61,7 @@ def _binomial(comm, table: Optional[Dict[int, Buffer]], root: int, ctx) -> Buffe
     while mask < size:
         if vr & mask:
             src = unvrank(vr - mask, root, size)
-            msg = comm._irecv(src, tag=mask, context=ctx).wait()
+            msg = comm._irecv(src, mask, ctx).wait()
             table = dict(msg.payload)
             break
         mask <<= 1
@@ -76,8 +76,7 @@ def _binomial(comm, table: Optional[Dict[int, Buffer]], root: int, ctx) -> Buffe
                 for r, b in table.items()
                 if dst_v <= vrank(r, root, size) < dst_v + mask
             }
-            comm._isend(_pack(sub), unvrank(dst_v, root, size), tag=mask,
-                        context=ctx, category="coll")
+            comm._isend(_pack(sub), unvrank(dst_v, root, size), mask, ctx, "coll")
             for r in sub:
                 del table[r]
         mask >>= 1
@@ -89,6 +88,6 @@ def _linear(comm, table: Optional[Dict[int, Buffer]], root: int, ctx) -> Buffer:
     if me == root:
         for dst in range(size):
             if dst != root:
-                comm._isend(table[dst], dst, tag=0, context=ctx, category="coll")
+                comm._isend(table[dst], dst, 0, ctx, "coll")
         return table[me]
-    return comm._irecv(root, tag=0, context=ctx).wait().buf
+    return comm._irecv(root, 0, ctx).wait().buf

@@ -6,6 +6,11 @@ latency-bound (depth × full-buffer transfers) into throughput-bound —
 the regime in which the paper's Fig. 5 reordering gains arise.  The
 monitoring component consequently sees one point-to-point message per
 segment per tree edge, exactly as on the real stack.
+
+Because the per-peer decomposition is *regular* (a fixed segment count
+covering the whole buffer), the pipelined collectives account their
+segment sends through one :class:`~repro.simmpi.pml_monitoring.PeerBatch`
+per tree edge instead of one accumulator update per segment.
 """
 
 from __future__ import annotations
@@ -16,7 +21,7 @@ import numpy as np
 
 from repro.simmpi.datatypes import Buffer
 
-__all__ = ["n_segments", "split_buffer", "join_payloads",
+__all__ = ["n_segments", "split_buffer", "join_payloads", "total_nbytes",
            "DEFAULT_SEGMENT_BYTES", "MAX_SEGMENTS"]
 
 #: Segment size used by the pipelined algorithms (Open MPI's tuned
@@ -44,9 +49,15 @@ def split_buffer(buf: Buffer, segments: int) -> List[Buffer]:
         return [buf]
     n = buf.nbytes
     base, extra = divmod(n, segments)
-    sizes = [base + (1 if i < extra else 0) for i in range(segments)]
     if buf.payload is None:
-        return [Buffer.abstract(s) for s in sizes]
+        # Only two distinct sizes occur; abstract buffers are immutable
+        # descriptors, so the same object can stand in for every
+        # equally-sized segment.
+        small = Buffer(None, nbytes=base)
+        if not extra:
+            return [small] * segments
+        big = Buffer(None, nbytes=base + 1)
+        return [big] * extra + [small] * (segments - extra)
     if isinstance(buf.payload, np.ndarray):
         flat = buf.payload.reshape(-1)
         per = -(-flat.size // segments)
@@ -62,6 +73,15 @@ def split_buffer(buf: Buffer, segments: int) -> List[Buffer]:
         f"cannot segment a {type(buf.payload).__name__} payload; "
         "use segments=1"
     )
+
+
+def total_nbytes(pieces: List[Buffer]) -> int:
+    """Wire volume of a regular segmented decomposition.
+
+    Pipelined collectives send each piece once per tree edge; the edge
+    total is what a :class:`PeerBatch` accumulates across the segment
+    sends of that edge."""
+    return sum(p.nbytes for p in pieces)
 
 
 def join_payloads(pieces: List[Buffer], like: Buffer) -> Buffer:

@@ -14,17 +14,32 @@ on top of :meth:`_isend`/:meth:`_irecv`.
 
 from __future__ import annotations
 
+import heapq
 from typing import Any, Hashable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.simmpi.datatypes import Buffer
-from repro.simmpi.errorsim import CommError
+from repro.simmpi.engine import _State, _tls, current_process
+from repro.simmpi.errorsim import CommError, SimError
 from repro.simmpi.match import ANY_SOURCE, ANY_TAG, MatchQueue, Message
 from repro.simmpi.op import Op
+from repro.simmpi.pml_monitoring import PeerBatch
 from repro.simmpi.request import RecvRequest, Request, SendRequest
 
 __all__ = ["Communicator", "ANY_SOURCE", "ANY_TAG"]
 
 _PT2PT_CONTEXT = "pt2pt"
+
+# Scheduler states compared identity-wise on the inlined send path.
+_READY = _State.READY
+_BLOCKED = _State.BLOCKED
+
+# Eager sends complete at post time, so internal sends (collectives,
+# sendrecv) return this shared completed request instead of allocating
+# one per message.  The public ``isend`` allocates a real SendRequest
+# because its ``nbytes`` attribute is part of the user-facing API.
+_SEND_DONE = SendRequest(0)
 
 
 class Communicator:
@@ -45,6 +60,11 @@ class Communicator:
         self.group: List[int] = [int(r) for r in group]
         self.id = engine.alloc_comm_id()
         self._local_of_world = {w: i for i, w in enumerate(self.group)}
+        # Per-destination match queues, indexed by local rank (the
+        # engine-wide registry keyed by (comm id, local) stays the
+        # source of truth for inspectors; this list is the hot-path
+        # view, avoiding a tuple allocation + dict probe per message).
+        self._queues: List[Optional[MatchQueue]] = [None] * len(self.group)
 
     # -- identity -----------------------------------------------------------
 
@@ -75,7 +95,10 @@ class Communicator:
     @property
     def time(self) -> float:
         """The calling rank's virtual clock, in seconds."""
-        return self._current().clock
+        proc = self._current()
+        if proc.pending is not None:
+            self.engine.settle(proc)
+        return proc.clock
 
     def compute(self, seconds: float) -> None:
         """Model local computation: advance the caller's clock."""
@@ -106,14 +129,18 @@ class Communicator:
     ) -> Request:
         if tag < 0:
             raise CommError(f"user tags must be >= 0, got {tag}")
+        self._check_rank(dest)
         buf = Buffer.wrap(value, nbytes)
-        return self._isend(buf, dest, tag, _PT2PT_CONTEXT, "p2p")
+        self._isend(buf, dest, tag, _PT2PT_CONTEXT, "p2p")
+        return SendRequest(buf.nbytes)
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Message:
         """Blocking receive; returns the matched :class:`Message`."""
         return self.irecv(source=source, tag=tag).wait()
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> RecvRequest:
+        if source != ANY_SOURCE:
+            self._check_rank(source)
         return self._irecv(source, tag, _PT2PT_CONTEXT)
 
     def sendrecv(
@@ -133,60 +160,157 @@ class Communicator:
     def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Optional[Message]:
         """Non-blocking probe of the unexpected queue (no clock cost)."""
         proc = self._current()
+        if proc.pending is not None:
+            self.engine.settle(proc)
         mq = self._queue(self._local_of_world[proc.rank])
         return mq.probe(source, tag, _PT2PT_CONTEXT)
 
     # -- internal point-to-point (collectives, OSC) -------------------------
 
     def _isend(
-        self, buf: Buffer, dest: int, tag: int, context: Hashable, category: str
+        self, buf: Buffer, dest: int, tag: int, context: Hashable, category: str,
+        batch=None,
     ) -> Request:
-        self._check_rank(dest)
+        # The payload is snapshotted here (the caller may reuse its
+        # buffer after the eager return); recording, the overhead
+        # charge, and the actual network transfer happen inside the
+        # engine — immediately when this rank is frontmost in virtual
+        # time, deferred otherwise (see Engine.post_send).
+        # Sends carrying a ``batch`` (PeerBatch) tally into it instead
+        # of the per-message accumulator update; see _open_peer_batch.
+        # ``dest`` is trusted (user entry points validate); the caller
+        # is resolved via the raw thread-local — this runs once per
+        # simulated message.
+        try:
+            proc = _tls.proc
+        except AttributeError:
+            raise SimError("not inside a simulated MPI process") from None
+        nbytes = buf.nbytes
+        payload = buf.payload
+        if payload is None:
+            # Abstract buffers carry no state a sender could mutate
+            # after the eager return — ship the descriptor itself
+            # instead of allocating a copy per message.
+            wire = buf
+        else:
+            # Buffer.copy_payload, inlined: arrays are value-copied,
+            # anything else is shipped as-is.
+            wire = Buffer(
+                payload.copy() if isinstance(payload, np.ndarray) else payload,
+                nbytes=nbytes,
+            )
+        mq = self._queues[dest]
+        if mq is None:
+            mq = self._queue(dest)
+        # Engine.post_send's deferral fast path, inlined (the branch
+        # nearly every exact-mode message takes — keep in sync with the
+        # engine): settle our previous send, then defer this one when
+        # any rank or queued send is due before us.
+        eng = self.engine
+        if proc.pending is not None:
+            eng.settle(proc)
+        if not eng._fast:
+            clock = proc.clock
+            heap = eng._ready_heap
+            pop = heapq.heappop
+            entry = None
+            while heap:
+                e = heap[0]
+                p = e[3]
+                if p.ready_seq == e[2]:
+                    if e[4] is None:
+                        if p.state is _READY:
+                            entry = e
+                            break
+                    elif p.state is _BLOCKED:
+                        entry = e
+                        break
+                pop(heap)
+            ph = eng._pending_heap
+            if (entry is not None and entry[0] < clock) or \
+                    (ph and ph[0][0] < clock):
+                msg = Message.__new__(Message)
+                msg.src = self._local_of_world[proc.rank]
+                msg.dst = dest
+                msg.tag = tag
+                msg.context = context
+                msg.buf = wire
+                msg.arrival = 0.0
+                msg.category = category
+                ps = [proc, mq, msg, self.group[dest], nbytes, batch, False]
+                proc.pending = ps
+                eng._qseq += 1
+                heapq.heappush(ph, (clock, proc.rank, eng._qseq, ps))
+                return _SEND_DONE
+        # Frontmost, or fast mode: the engine runs the transfer now.
+        eng.post_send(
+            proc,
+            mq,
+            self._local_of_world[proc.rank],
+            dest,
+            self.group[dest],
+            wire,
+            tag,
+            context,
+            category,
+            batch,
+        )
+        return _SEND_DONE
+
+    def _open_peer_batch(self, dest: int, category: str) -> PeerBatch:
+        """Open batched matrix bookkeeping for sends to one peer.
+
+        Segmented/pipelined collectives whose per-peer decomposition is
+        regular tag their segment sends with the returned batch; each
+        send is still mode-gated individually when it materializes, but
+        the tallies fold into the monitoring accumulators in one update
+        at :meth:`_close_peer_batch`."""
         proc = self._current()
-        engine = self.engine
-        src_local = self._local_of_world[proc.rank]
-        dst_world = self.group[dest]
+        return PeerBatch(proc.rank, self.group[dest], category)
 
-        # Keep shared timed resources (NIC windows) roughly in
-        # virtual-time order across ranks.
-        engine.maybe_yield(proc)
-
-        # PML monitoring hook: record + charge the bookkeeping cost.
-        if engine.pml.record(proc.rank, dst_world, buf.nbytes, category):
-            engine.charge_monitoring_overhead(proc)
-
-        sender_done, arrival = engine.network.transfer(
-            proc.rank, dst_world, buf.nbytes, proc.clock
-        )
-        proc.clock = sender_done
-
-        msg = Message(
-            src=src_local,
-            dst=dest,
-            tag=tag,
-            context=context,
-            buf=Buffer(buf.copy_payload(), nbytes=buf.nbytes),
-            arrival=arrival,
-            category=category,
-        )
-        self._queue(dest).deliver(msg)
-        return SendRequest(buf.nbytes)
+    def _close_peer_batch(self, batch: PeerBatch) -> None:
+        self.engine.pml.close_batch(batch)
 
     def _irecv(self, source: int, tag: int, context: Hashable) -> RecvRequest:
-        if source != ANY_SOURCE:
-            self._check_rank(source)
-        proc = self._current()
+        # ``source`` is trusted (user entry points validate) and the
+        # queue probe is inlined, mirroring _isend.
+        try:
+            proc = _tls.proc
+        except AttributeError:
+            raise SimError("not inside a simulated MPI process") from None
         my_local = self._local_of_world[proc.rank]
-        req = RecvRequest(self, proc, source, tag, context)
-        self._queue(my_local).post(req)
+        # RecvRequest.__init__, unrolled (skips one interpreter frame
+        # per receive; keep the field set in sync with request.py).
+        req = RecvRequest.__new__(RecvRequest)
+        req.comm = self
+        req.proc = proc
+        req.source = source
+        req.tag = tag
+        req.context = context
+        req._msg = None
+        mq = self._queues[my_local]
+        if mq is None:
+            mq = self._queue(my_local)
+        # MatchQueue.post, inlined (once per receive): bind the oldest
+        # matching unexpected message, else enqueue the receive.
+        unexpected = mq._unexpected
+        if unexpected:
+            for i, msg in enumerate(unexpected):
+                if (msg.context == context
+                        and source in (ANY_SOURCE, msg.src)
+                        and tag in (ANY_TAG, msg.tag)):
+                    del unexpected[i]
+                    req._msg = msg  # req is fresh: never double-bound
+                    return req
+        mq._posted.append(req)
         return req
 
     def _queue(self, dst_local: int) -> MatchQueue:
-        key = (self.id, dst_local)
-        mq = self.engine.match_queues.get(key)
+        mq = self._queues[dst_local]
         if mq is None:
             mq = MatchQueue()
-            self.engine.match_queues[key] = mq
+            self._queues[dst_local] = mq
+            self.engine.match_queues[(self.id, dst_local)] = mq
         return mq
 
     # -- collective context management ------------------------------------
@@ -332,10 +456,10 @@ class Communicator:
 
     # -- helpers ---------------------------------------------------------
 
-    def _current(self):
-        from repro.simmpi.engine import current_process
-
-        return current_process()
+    # One call frame over the engine's thread-local lookup; bound as a
+    # staticmethod so the per-message hot path skips the repeated
+    # ``from ... import`` a function-local import would pay.
+    _current = staticmethod(current_process)
 
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self.size:

@@ -2,18 +2,62 @@
 
 Every MPI rank runs its per-rank program on a real Python thread, but a
 *baton* protocol guarantees that exactly one thread executes at any
-instant: the scheduler (the caller's thread) repeatedly picks the
-runnable rank with the smallest ``(virtual clock, rank)`` and hands it
-the baton; the rank runs until it blocks (e.g. an unmatched receive),
-yields, or finishes, then hands the baton back.  The result is a fully
-deterministic discrete-event simulation in which user code is ordinary
-blocking MPI-style Python — no ``yield`` infection, no data races.
+instant.  The baton moves by **direct handoff**: the thread that is
+about to stop running (because it blocked, yielded, or finished) pops
+the next runnable rank from the ready heap and signals it directly.
+There is no scheduler thread in the steady state — the main thread only
+kicks off the first rank and is woken again when the simulation
+finishes, aborts, or stalls (deadlock).
+
+Because the baton is unique, every park has exactly one matching wake,
+so the signal itself needs no shared lock and no condition variable: a
+per-thread ``threading.Lock`` used as a binary semaphore (created
+locked; park = ``acquire``, wake = ``release``) is enough, and the
+release-before-acquire case is handled by the lock itself.  A handoff
+is therefore one futex wake plus one futex wait — measurably cheaper
+than the earlier shared-lock + per-process ``Condition`` handshake
+(which paid an extra waiter allocation and outer-lock reacquisition on
+every switch), and about half the cost again of the original
+double-``Event`` scheduler-loop design.
 
 Virtual time: each rank owns a clock (seconds).  Point-to-point sends
 and receives advance clocks according to the :mod:`repro.simmpi.network`
 model; ``compute()``/``sleep()`` advance them explicitly.  A rank never
 observes another rank's clock directly, so causality is preserved:
 receive completion is ``max(post time, message arrival)``.
+
+Scheduling policy
+-----------------
+
+Shared timed resources (NIC/memory busy windows, the jitter RNG
+stream) must be claimed in the same global order regardless of baton
+order, so a rank about to inject a message first gives way to every
+runnable rank whose virtual clock is strictly behind its own.  The
+classic engine implemented this by parking the sender's thread;
+profiling shows those parks dominate wall-clock time at paper-scale
+rank counts.  This engine eliminates most of them with **deferred
+sends**: a sender that must give way enqueues its fully-described
+transfer (buffer copy, destination, category) keyed by ``(clock,
+rank)`` and *keeps running* — it only stops at its next engine
+interaction (``wait``, ``time``, another send, …), and whoever holds
+the baton materializes due transfers inline, in exactly the order the
+park-based engine produced.  A sender's thread now parks only when a
+real thread (not just a pending transfer) must run before it.
+
+Ready-heap entries are ``(clock, rank, seq, proc, marker)`` — ordered
+exactly like the classic ``(clock, rank)`` policy.  The ``marker``
+field carries one further switch elision applied only *at pop time*,
+when the entry wins the heap, so it cannot perturb the order: a
+*phantom* marker means a message bind targeted a request of a blocked
+rank other than the one it is waiting on.  The classic engine wakes
+the rank, which re-checks its wait loop and immediately blocks again
+— no application code runs.  A phantom entry occupies the identical
+heap slot (so other ranks' yield decisions still see it) but simply
+evaporates when popped, unless the awaited message has arrived in the
+meantime.  (Elisions that would delay a *real* resume — e.g. skipping
+ahead to the receiver's post-recv clock — are deliberately absent:
+they reorder application code such as monitoring-mode changes against
+other ranks' sends.)
 
 Deadlock (all live ranks blocked) raises :class:`DeadlockError` with a
 per-rank state dump instead of hanging the host process.
@@ -24,10 +68,11 @@ from __future__ import annotations
 import heapq
 import threading
 from enum import Enum
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.simmpi.cluster import Cluster
 from repro.simmpi.errorsim import Aborted, DeadlockError, RankFailure, SimError
+from repro.simmpi.match import ANY_SOURCE, ANY_TAG, Message
 from repro.simmpi.mpit import MpiToolInterface
 from repro.simmpi.network import Network
 from repro.simmpi.pml_monitoring import PmlMonitoring
@@ -45,6 +90,10 @@ class _State(Enum):
 
 _tls = threading.local()
 
+# Sentinel for ready-heap entries that stand in for a blocked process
+# whose wake would be provably spurious (see module docstring).
+_PHANTOM = object()
+
 
 def current_process() -> "SimProcess":
     """The :class:`SimProcess` executing on the calling thread.
@@ -58,6 +107,28 @@ def current_process() -> "SimProcess":
     return proc
 
 
+# A deferred message injection, materialized in ``(clock, rank)`` order
+# by whichever thread holds the baton when it comes due.  Represented as
+# a plain list (building one is a single C-level op on the per-message
+# hot path); the slots are:
+#
+#   [0] proc      — the sending SimProcess
+#   [1] queue     — destination MatchQueue
+#   [2] msg       — pre-built Message (arrival filled at materialization)
+#   [3] dst_world — destination world rank (for monitoring/transfer)
+#   [4] nbytes    — wire size
+#   [5] batch     — PeerBatch for batched collectives, else None; the
+#                   send is still gated (and charged monitoring
+#                   overhead) individually at materialization
+#   [6] parked    — True once the owning thread parks awaiting
+#                   materialization; tells the materializer to hand the
+#                   owner the baton right after the transfer (transfer +
+#                   continuation form one tenure, exactly as when the
+#                   park-based engine resumed a sender)
+_PS_PROC, _PS_QUEUE, _PS_MSG, _PS_DSTW, _PS_NBYTES, _PS_BATCH, _PS_PARKED = \
+    range(7)
+
+
 class SimProcess:
     """Per-rank simulation state: clock, scheduler handshake, userdata."""
 
@@ -67,8 +138,10 @@ class SimProcess:
         "clock",
         "state",
         "thread",
-        "resume_evt",
+        "sem",
         "blocked_on",
+        "wait_obj",
+        "pending",
         "exc",
         "result",
         "userdata",
@@ -81,8 +154,21 @@ class SimProcess:
         self.clock = 0.0
         self.state = _State.NEW
         self.thread: Optional[threading.Thread] = None
-        self.resume_evt = threading.Event()
-        self.blocked_on: str = ""
+        # Binary semaphore carrying the baton: created locked, released
+        # by whoever hands this rank the baton, acquired by this rank's
+        # thread to park.  The baton is unique, so releases and
+        # acquires pair up exactly.
+        self.sem = threading.Lock()
+        self.sem.acquire()
+        self.blocked_on: Any = ""
+        # The request this rank is currently parked in ``wait()`` on,
+        # if any.  Message binds to *other* requests of this rank are
+        # provably spurious wakes (see Engine.wake).
+        self.wait_obj: Any = None
+        # This rank's deferred send, if any (at most one: posting a
+        # second send settles the first, since its injection clock
+        # depends on the first's completion).
+        self.pending: Optional[list] = None
         self.exc: Optional[BaseException] = None
         self.result: Any = None
         self.ready_seq = 0  # invalidates stale ready-heap entries
@@ -96,6 +182,8 @@ class SimProcess:
         """Move this rank's clock forward by ``seconds`` of work/sleep."""
         if seconds < 0:
             raise ValueError("cannot advance time backwards")
+        if self.pending is not None:
+            self.engine.settle(self)
         self.clock += seconds
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -118,6 +206,22 @@ class Engine:
         CPU seconds charged to a sender per message *recorded* by the
         monitoring component (the cost the paper's Fig. 4 measures).
         Zero when monitoring is disabled.
+    handoff:
+        Scheduler handoff policy.  ``"exact"`` (default) reproduces
+        the park-based engine's serialization bit-for-bit: transfers
+        claim the shared NIC/memory windows and the jitter stream in
+        global ``(clock, rank)`` order, so every virtual clock and
+        monitoring matrix matches the seed implementation.  ``"fast"``
+        drops the virtual-time give-way entirely: a rank injects its
+        messages immediately and keeps the baton until it hits a real
+        data dependency (a receive whose message has not arrived), so
+        shared resources are claimed in baton order instead.  On
+        pipelined workloads this collapses the one-handoff-per-message
+        lockstep into long tenures (fewer baton handoffs by an order
+        of magnitude).  Fast mode is fully deterministic for a given
+        seed and uses the identical network model; only the
+        interleaving of concurrent transfers — and hence low-order
+        timing details — may differ from exact mode.
     """
 
     def __init__(
@@ -125,24 +229,36 @@ class Engine:
         cluster: Cluster,
         seed: int = 0,
         monitoring_overhead: float = 5.0e-8,
+        handoff: str = "exact",
     ):
+        if handoff not in ("exact", "fast"):
+            raise ValueError("handoff must be 'exact' or 'fast'")
+        self.handoff = handoff
+        self._fast = handoff == "fast"
         self.cluster = cluster
         self.network = Network(
             cluster.topology, cluster.binding, cluster.params, seed=seed
         )
         self.monitoring_overhead = float(monitoring_overhead)
+        # The main thread's park/wake semaphore (see SimProcess.sem).
+        self._main_sem = threading.Lock()
+        self._main_sem.acquire()
         self.procs: List[SimProcess] = []
         self.mpit = MpiToolInterface()
         self.pml = PmlMonitoring(cluster.n_ranks, mpit=self.mpit)
+        self.pml.sync = self._settle_caller
         # Shared registries used by the communicator layer; only one
         # thread runs at a time so plain dicts are safe.
         self.comm_registry: Dict[Any, Any] = {}
         self.match_queues: Dict[Any, Any] = {}
         self._next_comm_id = 0
-        self._sched_evt = threading.Event()
         self._aborting = False
         self._switches = 0
-        self._ready_heap: List = []  # (clock, rank, seq, proc), lazily cleaned
+        # (clock, rank, seq, proc, hint), lazily cleaned.
+        self._ready_heap: List = []
+        # (clock, rank, qseq, pending-send list); entries are never stale.
+        self._pending_heap: List = []
+        self._qseq = 0
         self._n_done = 0
         self.world = None  # set by run(); apps may also build comms directly
 
@@ -161,6 +277,11 @@ class Engine:
     def switches(self) -> int:
         """Number of baton handoffs so far (a cost/diagnostic metric)."""
         return self._switches
+
+    @property
+    def messages(self) -> int:
+        """Number of messages injected into the network so far."""
+        return self.network.n_messages
 
     # -- running a program --------------------------------------------------
 
@@ -196,7 +317,7 @@ class Engine:
             t.start()
 
         try:
-            self._schedule()
+            self._main_loop()
         finally:
             self._drain()
 
@@ -216,64 +337,510 @@ class Engine:
     def clocks(self) -> List[float]:
         return [p.clock for p in self.procs]
 
-    # -- scheduler core ---------------------------------------------------
+    # -- ready heap (baton holder only; no lock needed) -------------------
 
     def _set_ready(self, proc: SimProcess) -> None:
         """Transition a process to READY and enqueue it for scheduling."""
         proc.state = _State.READY
         proc.ready_seq += 1
-        heapq.heappush(self._ready_heap, (proc.clock, proc.rank, proc.ready_seq, proc))
+        heapq.heappush(
+            self._ready_heap,
+            (proc.clock, proc.rank, proc.ready_seq, proc, None),
+        )
 
-    def _pop_ready(self) -> Optional[SimProcess]:
+    def _clean_front(self) -> Optional[Tuple]:
+        """Drop stale heap entries; return the valid front entry, if any.
+
+        An entry is live when its sequence number is current and its
+        process is in the state the entry stands for — READY for a
+        normal entry, BLOCKED for a phantom.  This is the one lazy
+        cleanup shared by :meth:`_pop_ready` and
+        :meth:`min_ready_clock` (inlined: it runs once per send and
+        once per yield check).
+        """
         heap = self._ready_heap
+        pop = heapq.heappop
         while heap:
-            _, _, seq, proc = heapq.heappop(heap)
-            if proc.state is _State.READY and proc.ready_seq == seq:
-                return proc
+            entry = heap[0]
+            proc = entry[3]
+            if proc.ready_seq == entry[2]:
+                if entry[4] is None:
+                    if proc.state is _State.READY:
+                        return entry
+                elif proc.state is _State.BLOCKED:
+                    return entry
+            pop(heap)
         return None
 
     def min_ready_clock(self) -> Optional[float]:
-        """Clock of the frontmost runnable rank (lazy heap cleanup)."""
+        """Clock of the frontmost due work — thread or deferred send."""
+        entry = self._clean_front()
+        clock = None if entry is None else entry[0]
+        ph = self._pending_heap
+        if ph and (clock is None or ph[0][0] < clock):
+            return ph[0][0]
+        return clock
+
+    def _pop_ready(self, settle_for: Optional[SimProcess] = None
+                   ) -> Optional[SimProcess]:
+        """Materialize due deferred sends, then pop the next thread.
+
+        With ``settle_for``, stop (returning None) as soon as that
+        process's own deferred send has been materialized — used by
+        :meth:`settle` so the caller keeps the baton, exactly as the
+        park-based engine resumed a sender the moment its transfer
+        completed.
+        """
         heap = self._ready_heap
-        while heap:
-            clock, _, seq, proc = heap[0]
-            if proc.state is _State.READY and proc.ready_seq == seq:
-                return clock
-            heapq.heappop(heap)
+        ph = self._pending_heap
+        pop = heapq.heappop
+        while True:
+            if settle_for is not None and settle_for.pending is None:
+                return None
+            # _clean_front, inlined (this loop runs once per switch).
+            t = None
+            while heap:
+                e = heap[0]
+                p = e[3]
+                if p.ready_seq == e[2]:
+                    if e[4] is None:
+                        if p.state is _State.READY:
+                            t = e
+                            break
+                    elif p.state is _State.BLOCKED:
+                        t = e
+                        break
+                pop(heap)
+            if ph:
+                p = ph[0]
+                if t is None or p[0] < t[0] or (p[0] == t[0] and p[1] < t[1]):
+                    pop(ph)
+                    owner = self._materialize(p[3])
+                    if owner is not None:
+                        # The sender's thread is parked on this very
+                        # transfer: it resumes here, mid-tenure, just
+                        # as the park-based engine resumed it after
+                        # the transfer it parked on.
+                        return owner
+                    continue
+            if t is None:
+                return None
+            entry = pop(heap)
+            proc = entry[3]
+            if entry[4] is _PHANTOM:
+                wo = proc.wait_obj
+                if wo is not None and wo._msg is not None:
+                    # The awaited message arrived while the phantom was
+                    # queued: this is a real resume after all.
+                    return proc
+                # The classic engine would resume the blocked rank here
+                # only for it to re-check its wait loop and block again
+                # at the same clock.  Evaporate instead.
+                continue
+            return proc
+
+    # -- deferred sends ----------------------------------------------------
+
+    def post_send(self, proc: SimProcess, queue, src_local: int,
+                  dst_local: int, dst_world: int, buf, tag: int,
+                  context, category: str, batch=None) -> None:
+        """Inject a message, deferring it if ranks are due before us.
+
+        The transfer executes immediately when this rank is frontmost
+        (same condition under which the classic engine proceeded
+        without parking); otherwise it is queued at ``(clock, rank)``
+        and the calling thread keeps running — its clock and the
+        message's delivery are settled lazily, in global order.
+        """
+        if proc.pending is not None:
+            self.settle(proc)
+        clock = proc.clock
+        if not self._fast:
+            # Fast handoff skips the deferral check entirely: transfers
+            # claim the network in baton order.  Exact mode defers when
+            # any rank or queued send is due before us (this is
+            # min_ready_clock with _clean_front's lazy cleanup, both
+            # inlined — it runs once per message).
+            heap = self._ready_heap
+            pop = heapq.heappop
+            entry = None
+            while heap:
+                e = heap[0]
+                p = e[3]
+                if p.ready_seq == e[2]:
+                    if e[4] is None:
+                        if p.state is _State.READY:
+                            entry = e
+                            break
+                    elif p.state is _State.BLOCKED:
+                        entry = e
+                        break
+                pop(heap)
+            ph = self._pending_heap
+            if (entry is not None and entry[0] < clock) or \
+                    (ph and ph[0][0] < clock):
+                # Message.__init__, unrolled (skips the generated
+                # dataclass frame; arrival is filled at materialization).
+                msg = Message.__new__(Message)
+                msg.src = src_local
+                msg.dst = dst_local
+                msg.tag = tag
+                msg.context = context
+                msg.buf = buf
+                msg.arrival = 0.0
+                msg.category = category
+                ps = [proc, queue, msg, dst_world, buf.nbytes, batch, False]
+                proc.pending = ps
+                self._qseq += 1
+                heapq.heappush(ph, (clock, proc.rank, self._qseq, ps))
+                return
+        # Frontmost (or fast mode): run the transfer inline, without
+        # building a pending-send record.  This duplicates _materialize
+        # minus the deferral bookkeeping — keep the two in sync.
+        nbytes = buf.nbytes
+        if batch is None:
+            recorded = self.pml.record(proc.rank, dst_world, nbytes,
+                                       category, clock)
+        else:
+            # pml.note_batched, inlined (same observable behaviour as
+            # record: trace hook, mode gate, and mode-1 remapping all
+            # evaluated now; tallies land in the batch).
+            pml = self.pml
+            hook = pml.trace_hook
+            if hook is not None:
+                hook(clock, batch.src, batch.dst, nbytes, batch.category, 1)
+            mode = pml._mode
+            if mode == 0:
+                recorded = False
+            else:
+                tl = batch.tallies
+                if mode == 1 and batch.category == "coll":
+                    tl[2] += 1
+                    tl[3] += nbytes
+                else:
+                    tl[0] += 1
+                    tl[1] += nbytes
+                recorded = True
+        if recorded and self.monitoring_overhead > 0.0:
+            proc.clock = clock = clock + self.monitoring_overhead
+        sender_done, arrival = self.network.transfer(
+            proc.rank, dst_world, nbytes, clock
+        )
+        proc.clock = sender_done
+        req = queue.deliver(Message(src_local, dst_local, tag, context, buf,
+                                    arrival, category))
+        if req is not None:
+            self._wake_bound(req)
+
+    def _materialize(self, ps: list) -> Optional[SimProcess]:
+        """Execute a send: record, charge, transfer, deliver.
+
+        Runs at the exact position in the global ``(clock, rank)``
+        order where the park-based engine resumed the sender, so the
+        monitoring mode, jitter stream, and NIC/memory windows all see
+        the same sequence of operations.  Returns the owning process
+        when its thread is parked on this transfer and must be handed
+        the baton now (its post-transfer code belongs to this tenure).
+        """
+        proc = ps[0]
+        proc.pending = None
+        msg = ps[2]
+        nbytes = ps[4]
+        clock = proc.clock
+        batch = ps[5]
+        if batch is None:
+            recorded = self.pml.record(proc.rank, ps[3], nbytes,
+                                       msg.category, clock)
+        else:
+            # pml.note_batched, inlined (keep in sync with post_send):
+            # gate and tally into the collective's PeerBatch at this
+            # exact point in the global order.
+            pml = self.pml
+            hook = pml.trace_hook
+            if hook is not None:
+                hook(clock, batch.src, batch.dst, nbytes, batch.category, 1)
+            mode = pml._mode
+            if mode == 0:
+                recorded = False
+            else:
+                tl = batch.tallies
+                if mode == 1 and batch.category == "coll":
+                    tl[2] += 1
+                    tl[3] += nbytes
+                else:
+                    tl[0] += 1
+                    tl[1] += nbytes
+                recorded = True
+        if recorded and self.monitoring_overhead > 0.0:
+            proc.clock = clock = clock + self.monitoring_overhead
+        # Network.transfer, inlined (nearly every message materializes
+        # through here; post_send's rare immediate path still calls the
+        # method).  The nbytes >= 0 precondition is Buffer's invariant.
+        net = self.network
+        src_rank = proc.rank
+        alpha, bw, src_node, dst_node, cross, nic_gate, mem_gate = \
+            net._pair_l[src_rank * net._n_ranks + ps[3]]
+        if net._sigma > 0.0:
+            blk = net._jit_blk
+            pos = net._jit_pos
+            if pos + 2 > len(blk):
+                blk = net._refill_jitter()
+                pos = 0
+            lat = alpha * blk[pos]
+            bwt = (nbytes / bw) * blk[pos + 1]
+            net._jit_pos = pos + 2
+        else:
+            lat = alpha
+            bwt = nbytes / bw
+        start = clock + net._o_send
+        if nic_gate:
+            f = net._nic_free[src_node]
+            if f > start:
+                start = f
+        mem_gate = mem_gate and nbytes > 0
+        if mem_gate:
+            start = max(start, net._mem_free[src_node],
+                        net._mem_free[dst_node])
+        if nic_gate:
+            net._nic_free[src_node] = start + bwt
+        if mem_gate:
+            mem_t = nbytes / net._mem_bw
+            net._mem_free[src_node] = start + mem_t
+            if dst_node != src_node:
+                net._mem_free[dst_node] = start + mem_t
+        sender_done = start + bwt
+        arrival = start + lat + bwt
+        net.n_messages += 1
+        if cross:
+            nic = net.nic
+            times, totals = nic._xmit[src_node]
+            tv = sender_done
+            if times and tv < times[-1]:
+                tv = times[-1]
+            times.append(tv)
+            totals.append((totals[-1] if totals else 0) + int(nbytes))
+            times, totals = nic._rcv[dst_node]
+            tv = arrival
+            if times and tv < times[-1]:
+                tv = times[-1]
+            times.append(tv)
+            totals.append((totals[-1] if totals else 0) + int(nbytes))
+
+        proc.clock = sender_done
+        msg.arrival = arrival
+        # MatchQueue.deliver + the phantom-eliding wake, inlined.
+        mq = ps[1]
+        req = None
+        posted = mq._posted
+        if posted:
+            ctx, src, tag = msg.context, msg.src, msg.tag
+            for i, r in enumerate(posted):
+                if (r.context == ctx
+                        and r.source in (ANY_SOURCE, src)
+                        and r.tag in (ANY_TAG, tag)):
+                    del posted[i]
+                    if r._msg is not None:
+                        raise SimError("receive request bound twice")
+                    r._msg = msg
+                    req = r
+                    break
+        if req is None:
+            mq._unexpected.append(msg)
+        else:
+            rp = req.proc
+            if rp.state is _State.BLOCKED:
+                rp.ready_seq += 1
+                if rp.wait_obj is not None and rp.wait_obj._msg is None:
+                    heapq.heappush(self._ready_heap,
+                                   (rp.clock, rp.rank, rp.ready_seq, rp,
+                                    _PHANTOM))
+                else:
+                    rp.state = _State.READY
+                    heapq.heappush(self._ready_heap,
+                                   (rp.clock, rp.rank, rp.ready_seq, rp,
+                                    None))
+        if ps[6]:
+            return proc
         return None
 
-    def _schedule(self) -> None:
-        while True:
-            if self._aborting:
-                return
-            nxt = self._pop_ready()
-            if nxt is None:
-                if self._n_done == len(self.procs):
-                    return
-                blocked = [
-                    (p.rank, f"blocked on {p.blocked_on} at t={p.clock:.6g}")
-                    for p in self.procs
-                    if p.state is _State.BLOCKED
-                ]
-                self._aborting = True
-                raise DeadlockError(blocked)
-            self._hand_baton(nxt)
+    def _settle_caller(self) -> None:
+        """Settle the calling thread's deferred send, if it has one.
 
-    def _hand_baton(self, proc: SimProcess) -> None:
+        Installed as ``pml.sync``: monitoring-state reads and mode
+        changes observe/affect the global record order, so they must
+        happen at the same position a non-deferred engine would put
+        them — right after the caller's own sends have completed.
+        """
+        proc = getattr(_tls, "proc", None)
+        if proc is not None and proc.engine is self and proc.pending is not None:
+            self.settle(proc)
+
+    def settle(self, proc: SimProcess) -> None:
+        """Materialize this process's deferred send, in global order.
+
+        Runs every piece of due work keyed before the send — deferred
+        transfers inline, threads by handing them the baton and parking
+        until our send has been materialized.
+        """
+        heap = self._ready_heap
+        ph = self._pending_heap
+        pop = heapq.heappop
+        while proc.pending is not None:
+            # _pop_ready(settle_for=proc), inlined: most settles drain
+            # the due deferred sends right here without a switch, so the
+            # scan-materialize loop runs in this frame.
+            nxt = None
+            while True:
+                # _clean_front, inlined.
+                t = None
+                while heap:
+                    e = heap[0]
+                    p = e[3]
+                    if p.ready_seq == e[2]:
+                        if e[4] is None:
+                            if p.state is _State.READY:
+                                t = e
+                                break
+                        elif p.state is _State.BLOCKED:
+                            t = e
+                            break
+                    pop(heap)
+                if ph:
+                    p = ph[0]
+                    if t is None or p[0] < t[0] or \
+                            (p[0] == t[0] and p[1] < t[1]):
+                        pop(ph)
+                        owner = self._materialize(p[3])
+                        if owner is not None:
+                            # That send's thread is parked on it and
+                            # must resume mid-tenure.
+                            nxt = owner
+                            break
+                        if proc.pending is None:
+                            break
+                        continue
+                if t is None:
+                    break
+                entry = pop(heap)
+                nxt = entry[3]
+                if entry[4] is _PHANTOM:
+                    wo = nxt.wait_obj
+                    if wo is not None and wo._msg is not None:
+                        # The awaited message arrived while the phantom
+                        # was queued: a real resume after all.
+                        break
+                    nxt = None
+                    continue
+                break
+            if nxt is None:
+                if proc.pending is not None:  # pragma: no cover - invariant
+                    raise SimError("deferred send lost from the queue")
+                return
+            # A thread is due before our deferred send: it gets the
+            # baton; our send will be materialized (and this thread
+            # re-enqueued at its completion clock) when it comes due.
+            # (_switch_to inlined: this runs once per handed-off send.)
+            proc.pending[_PS_PARKED] = True
+            proc.state = _State.READY
+            self._switches += 1
+            nxt.state = _State.RUNNING
+            nxt.sem.release()
+            proc.sem.acquire()
+            if self._aborting:
+                raise Aborted()
+            proc.state = _State.RUNNING
+            proc.blocked_on = ""
+
+    # -- direct handoff core ----------------------------------------------
+
+    def _signal(self, proc: SimProcess) -> None:
+        """Hand the baton to ``proc`` (the caller must hold it).
+
+        Cold-path helper (startup, teardown, main loop); the per-switch
+        hot paths (:meth:`_switch_to`, :meth:`block`, :meth:`settle`)
+        inline these three lines.
+        """
         self._switches += 1
         proc.state = _State.RUNNING
-        self._sched_evt.clear()
-        proc.resume_evt.set()
-        self._sched_evt.wait()
+        proc.sem.release()
+
+    def _switch_to(self, nxt: SimProcess, proc: SimProcess) -> None:
+        """Signal ``nxt`` and park the calling thread until re-signalled."""
+        self._switches += 1
+        nxt.state = _State.RUNNING
+        nxt.sem.release()
+        proc.sem.acquire()
+        if self._aborting:
+            raise Aborted()
+
+    def _handoff_from(self, proc: SimProcess) -> None:
+        """Pass the baton to the next due rank and park the caller.
+
+        When no rank is ready the main thread is woken instead — it
+        decides between normal completion, abort unwinding, and
+        deadlock.  Returns once this process is signalled again; raises
+        :class:`Aborted` if the simulation is being torn down.
+        """
+        nxt = self._pop_ready()
+        if nxt is proc:
+            # Materialized sends can leave this process frontmost again:
+            # handing the baton to ourselves is a no-op, skip the park.
+            proc.state = _State.RUNNING
+            if self._aborting:
+                raise Aborted()
+            return
+        if nxt is not None:
+            self._switches += 1
+            nxt.state = _State.RUNNING
+            nxt.sem.release()
+        else:
+            self._main_sem.release()
+        proc.sem.acquire()
+        if self._aborting:
+            raise Aborted()
+
+    def _main_loop(self) -> None:
+        """Kick off the first rank, then sleep until finish/abort/stall."""
+        first = self._pop_ready()
+        if first is None:  # pragma: no cover - zero-rank engine
+            return
+        self._signal(first)
+        while True:
+            self._main_sem.acquire()
+            if self._aborting or self._n_done == len(self.procs):
+                return
+            nxt = self._pop_ready()
+            if nxt is not None:  # pragma: no cover - defensive
+                self._signal(nxt)
+                continue
+            blocked = [
+                (p.rank, f"blocked on {p.blocked_on} at t={p.clock:.6g}")
+                for p in self.procs
+                if p.state is _State.BLOCKED
+            ]
+            self._aborting = True
+            raise DeadlockError(blocked)
 
     def _drain(self) -> None:
-        """Unwind any live rank threads after an abort or failure."""
+        """Unwind any live rank threads after an abort or failure.
+
+        Parked threads are woken one at a time; each observes
+        ``_aborting``, raises :class:`Aborted`, marks itself DONE and
+        wakes the main thread back (its ``finally`` block), so the
+        handshake stays strictly sequential.
+        """
         self._aborting = True
         for proc in self.procs:
             while proc.state is not _State.DONE:
-                self._sched_evt.clear()
-                proc.resume_evt.set()
-                self._sched_evt.wait()
+                try:
+                    proc.sem.release()
+                except RuntimeError:
+                    # Torn down mid-handoff (e.g. an interrupt landed
+                    # between a signal and its consumption): the baton
+                    # is already pending; the thread will observe
+                    # ``_aborting`` when it consumes it.
+                    pass
+                self._main_sem.acquire()
         for proc in self.procs:
             if proc.thread is not None:
                 proc.thread.join(timeout=10.0)
@@ -283,8 +850,10 @@ class Engine:
     def _thread_main(self, proc: SimProcess, main, args, kwargs) -> None:
         _tls.proc = proc
         try:
-            self._await_baton(proc)
+            self._await_first(proc)
             proc.result = main(self.world, *args, **kwargs)
+            if proc.pending is not None:
+                self.settle(proc)
         except Aborted:
             pass
         except BaseException as exc:  # noqa: BLE001 - reported via RankFailure
@@ -293,43 +862,116 @@ class Engine:
         finally:
             proc.state = _State.DONE
             self._n_done += 1
-            self._sched_evt.set()
+            if self._aborting:
+                nxt = None
+            else:
+                nxt = self._pop_ready()
+            if nxt is not None:
+                self._signal(nxt)
+            else:
+                self._main_sem.release()
 
-    def _await_baton(self, proc: SimProcess) -> None:
-        proc.resume_evt.wait()
-        proc.resume_evt.clear()
+    def _await_first(self, proc: SimProcess) -> None:
+        proc.sem.acquire()
         if self._aborting:
             raise Aborted()
 
     # -- primitives used by the communicator layer ---------------------------
 
-    def block(self, proc: SimProcess, reason: str) -> None:
-        """Park the calling rank until another rank calls :meth:`wake`."""
-        assert proc is current_process()
+    def block(self, proc: SimProcess, reason: Any) -> None:
+        """Park the calling rank until another rank calls :meth:`wake`.
+
+        ``reason`` may be any object; it is only formatted (via
+        ``str``) if a deadlock dump has to display it.  This is the
+        per-wait hot path: :meth:`_handoff_from` is inlined here."""
         proc.state = _State.BLOCKED
         proc.blocked_on = reason
-        self._sched_evt.set()
-        self._await_baton(proc)
+        nxt = self._pop_ready()
+        if nxt is not proc:
+            if nxt is not None:
+                self._switches += 1
+                nxt.state = _State.RUNNING
+                nxt.sem.release()
+            else:
+                self._main_sem.release()
+            proc.sem.acquire()
+        if self._aborting:
+            raise Aborted()
+        proc.state = _State.RUNNING
         proc.blocked_on = ""
 
+    def _wake_bound(self, req) -> None:
+        """Wake the poster of a receive that delivery just bound.
+
+        Same phantom-elision logic as :meth:`wake`, specialized for the
+        per-message delivery path: it runs only when the message
+        matched a *posted* receive, so the not-blocked early-out of the
+        generic wake (binds at post time, poster still running) never
+        pays a call frame.
+        """
+        proc = req.proc
+        if proc.state is not _State.BLOCKED:
+            return
+        wo = proc.wait_obj
+        proc.ready_seq += 1
+        if wo is not None and wo._msg is None:
+            heapq.heappush(
+                self._ready_heap,
+                (proc.clock, proc.rank, proc.ready_seq, proc, _PHANTOM),
+            )
+            return
+        proc.state = _State.READY
+        heapq.heappush(
+            self._ready_heap,
+            (proc.clock, proc.rank, proc.ready_seq, proc, None),
+        )
+
     def wake(self, proc: SimProcess) -> None:
-        """Mark a blocked rank runnable (called while holding the baton)."""
-        if proc.state is _State.BLOCKED:
-            self._set_ready(proc)
+        """Mark a blocked rank runnable (called while holding the baton).
+
+        A wake of a rank that is still waiting on a request whose
+        message has not arrived (``waitall`` progress) is provably
+        spurious — the rank would resume, re-check its wait loop, and
+        block again at the same clock.  Such wakes are enqueued as
+        phantom entries: they occupy the identical heap slot (so other
+        ranks' scheduling decisions are unchanged) but evaporate at pop
+        time without a thread switch.
+        """
+        if proc.state is not _State.BLOCKED:
+            return
+        wo = proc.wait_obj
+        proc.ready_seq += 1
+        if wo is not None and wo._msg is None:
+            heapq.heappush(
+                self._ready_heap,
+                (proc.clock, proc.rank, proc.ready_seq, proc, _PHANTOM),
+            )
+            return
+        # _set_ready, inlined (this runs once per delivered message).
+        proc.state = _State.READY
+        heapq.heappush(
+            self._ready_heap,
+            (proc.clock, proc.rank, proc.ready_seq, proc, None),
+        )
 
     def maybe_yield(self, proc: SimProcess) -> None:
         """Give way to ranks that are behind in virtual time.
 
         Called at communication points so that shared timed resources
-        (the per-node NIC busy windows) are claimed in approximately
-        virtual-time order rather than baton order.
+        (the per-node NIC busy windows) are claimed in virtual-time
+        order rather than baton order.  While this rank remains
+        frontmost it keeps running — no heap or lock traffic.  Fast
+        handoff skips the give-way entirely: a rank runs until it hits
+        a data dependency (an unarrived message).
         """
-        front = self.min_ready_clock()
-        if front is not None and front < proc.clock:
+        if self._fast:
+            return
+        if proc.pending is not None:
+            self.settle(proc)
+        f = self.min_ready_clock()
+        if f is not None and f < proc.clock:
             self._set_ready(proc)
-            self._sched_evt.set()
-            self._await_baton(proc)
-            proc.state = _State.RUNNING
+            self._handoff_from(proc)
 
     def charge_monitoring_overhead(self, proc: SimProcess, n_records: int = 1) -> None:
         """Charge the per-message bookkeeping cost to a sender's clock."""

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Any, Deque, Hashable, Optional, Tuple
 
 from repro.simmpi.datatypes import Buffer
+from repro.simmpi.errorsim import SimError
 
 __all__ = ["ANY_SOURCE", "ANY_TAG", "Message", "MatchQueue"]
 
@@ -22,12 +23,14 @@ ANY_SOURCE = -1
 ANY_TAG = -1
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """An in-flight (or delivered) message.
 
     ``src``/``dst`` are ranks local to the communicator; ``arrival`` is
     the virtual time the payload is available at the destination.
+    (``slots=True``: one Message is allocated per simulated message —
+    skipping the per-instance ``__dict__`` is measurable.)
     """
 
     src: int
@@ -68,24 +71,42 @@ class MatchQueue:
         """A message arrived: bind it to the oldest matching receive.
 
         Returns the matched receive request (already bound), or ``None``
-        if the message was queued as unexpected.
+        if the message was queued as unexpected.  The match test is
+        inlined (cf. :meth:`_matches`): this runs once per simulated
+        message, usually against a one-entry queue.
         """
-        for i, req in enumerate(self._posted):
-            if self._matches(req, msg):
-                del self._posted[i]
-                req.bind(msg)
-                return req
+        posted = self._posted
+        if posted:
+            ctx, src, tag = msg.context, msg.src, msg.tag
+            for i, req in enumerate(posted):
+                if (req.context == ctx
+                        and req.source in (ANY_SOURCE, src)
+                        and req.tag in (ANY_TAG, tag)):
+                    del posted[i]
+                    # RecvRequest.bind, inlined (once per message).
+                    if req._msg is not None:
+                        raise SimError("receive request bound twice")
+                    req._msg = msg
+                    return req
         self._unexpected.append(msg)
         return None
 
     def post(self, req: Any) -> bool:
         """A receive was posted: bind the oldest matching unexpected
         message, else enqueue the receive.  Returns True iff bound."""
-        for i, msg in enumerate(self._unexpected):
-            if self._matches(req, msg):
-                del self._unexpected[i]
-                req.bind(msg)
-                return True
+        unexpected = self._unexpected
+        if unexpected:
+            ctx, src, tag = req.context, req.source, req.tag
+            for i, msg in enumerate(unexpected):
+                if (msg.context == ctx
+                        and src in (ANY_SOURCE, msg.src)
+                        and tag in (ANY_TAG, msg.tag)):
+                    del unexpected[i]
+                    # RecvRequest.bind, inlined (once per message).
+                    if req._msg is not None:
+                        raise SimError("receive request bound twice")
+                    req._msg = msg
+                    return True
         self._posted.append(req)
         return False
 

@@ -41,10 +41,14 @@ class _ControlVariable:
 
 
 class _PerfVariable:
-    def __init__(self, name: str, reader: Callable[[int], np.ndarray], doc: str):
+    def __init__(self, name: str, reader: Callable[[int], np.ndarray], doc: str,
+                 version: Optional[Callable[[], int]] = None):
         self.name = name
         self.reader = reader
         self.doc = doc
+        # Optional monotonic write counter; lets snapshot layers skip
+        # re-reading variables that have not changed.
+        self.version = version
 
 
 class PvarHandle:
@@ -73,6 +77,17 @@ class PvarHandle:
         """Snapshot of the variable for the bound process (a copy)."""
         self._check()
         return np.array(self._var.reader(self.rank), dtype=np.uint64, copy=True)
+
+    def version(self) -> Optional[int]:
+        """The variable's write epoch, or None if it does not track one.
+
+        Reading the version does *not* flush or copy anything — it is
+        the cheap "has this changed since my snapshot?" probe.
+        """
+        self._check()
+        if self._var.version is None:
+            return None
+        return int(self._var.version())
 
     def free(self) -> None:
         self.freed = True
@@ -143,11 +158,15 @@ class MpiToolInterface:
         self._cvars[name] = _ControlVariable(name, getter, setter, doc)
 
     def register_pvar(
-        self, name: str, reader: Callable[[int], np.ndarray], doc: str = ""
+        self,
+        name: str,
+        reader: Callable[[int], np.ndarray],
+        doc: str = "",
+        version: Optional[Callable[[], int]] = None,
     ) -> None:
         if name in self._pvars:
             raise MpitError(f"pvar {name!r} already registered")
-        self._pvars[name] = _PerfVariable(name, reader, doc)
+        self._pvars[name] = _PerfVariable(name, reader, doc, version=version)
 
     # -- queries ---------------------------------------------------------
 

@@ -19,12 +19,24 @@ Model per message (sender at virtual time ``t``):
 All terms are optionally perturbed by seeded multiplicative log-normal
 jitter so that repeated runs show the run-to-run variance the paper's
 §6.2 statistics (180 repetitions, Welch t-test) rely on.
+
+Hot-path design: :meth:`Network.transfer` runs once per simulated
+message — millions of times per experiment — so the per-pair route is
+resolved *once*, at construction.  ``Network.__init__`` walks every
+(src_rank, dst_rank) pair and precomputes the sharing-class index,
+``alpha``, ``1/bandwidth``, the endpoint node indices and the
+cross-node mask into flat tables; ``transfer`` is then pure arithmetic
+plus the shared-resource bookkeeping and never calls
+``Topology.common_level_name`` or ``NetworkParams.link_for``.  Jitter
+factors are drawn from the seeded RNG in blocks and handed out in
+stream order, so a jittered run consumes the *same* draw sequence as
+one scalar draw per term (bitwise identical results for a given seed).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -32,6 +44,11 @@ from repro.simmpi.nic import NicCounters
 from repro.simmpi.topology import Topology
 
 __all__ = ["LinkParams", "NetworkParams", "Network", "plafrim_params", "ib_pair_params"]
+
+#: How many jitter factors to draw from the RNG per refill.  Each
+#: message consumes two (latency, then bandwidth), so a block covers
+#: ``_JITTER_BLOCK / 2`` messages.
+_JITTER_BLOCK = 1024
 
 
 @dataclass(frozen=True)
@@ -68,10 +85,20 @@ class NetworkParams:
     mem_bandwidth: Optional[float] = None
     jitter: float = 0.0
     lanes: int = 4
+    #: Resolution cache for :meth:`link_for` — the fallback walk
+    #: rebuilds the level order on every miss, and route-table
+    #: construction asks for the same handful of classes n² times.
+    _link_cache: Dict[Tuple[str, Tuple[str, ...]], LinkParams] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def link_for(self, class_name: str, topology: Topology) -> LinkParams:
         if class_name in self.links:
             return self.links[class_name]
+        key = (class_name, tuple(topology.level_names))
+        cached = self._link_cache.get(key)
+        if cached is not None:
+            return cached
         # Fall back towards deeper (cheaper) levels: cluster -> node ->
         # socket -> ... -> self, taking the first defined entry at or
         # below the requested class.
@@ -80,6 +107,7 @@ class NetworkParams:
             raise ValueError(f"unknown sharing class {class_name!r}")
         for name in order[order.index(class_name) :]:
             if name in self.links:
+                self._link_cache[key] = self.links[name]
                 return self.links[name]
         raise ValueError(f"no link parameters cover class {class_name!r}")
 
@@ -126,7 +154,20 @@ def ib_pair_params(jitter: float = 0.0) -> NetworkParams:
 
 
 class Network:
-    """Timed message transport over a :class:`Topology` and a binding."""
+    """Timed message transport over a :class:`Topology` and a binding.
+
+    Public route tables (all precomputed at construction, read-only):
+
+    * ``route_classes`` — tuple of sharing-class names;
+    * ``route_class`` — (n, n) uint16 index into ``route_classes``;
+    * ``route_alpha`` / ``route_inv_bw`` — (n, n) float64 latency and
+      inverse bandwidth of the link class serving each pair;
+    * ``route_src_node`` / ``route_dst_node`` — (n, n) endpoint node
+      indices;
+    * ``route_cross`` — (n, n) bool, True where the pair crosses nodes.
+
+    ``n_messages`` counts every completed :meth:`transfer`.
+    """
 
     def __init__(
         self,
@@ -140,28 +181,142 @@ class Network:
         self.params = params
         n_nodes = topology.n_components(topology.level_names[0])
         self.nic = NicCounters(n_nodes, lanes=params.lanes)
-        self._nic_free = np.zeros(n_nodes, dtype=np.float64)
-        self._mem_free = np.zeros(n_nodes, dtype=np.float64)
+        # Busy-until horizons per node, as plain Python floats: both
+        # gates are read and written once per message, where list
+        # indexing beats numpy scalar extraction by ~5x (the values are
+        # IEEE doubles either way, so results are bit-identical).
+        self._nic_free = [0.0] * n_nodes
+        self._mem_free = [0.0] * n_nodes
         self._rng = np.random.default_rng(seed)
         self._sigma = float(params.jitter)
+        self._jit_blk: List[float] = []
+        self._jit_pos = 0
+        self.n_messages = 0
+        self._build_routes()
+
+    # -- route tables ------------------------------------------------------
+
+    def _build_routes(self) -> None:
+        topo = self.topology
+        params = self.params
+        binding = self.binding
+        n = len(binding)
+        self._n_ranks = n
+
+        pu = np.asarray(binding, dtype=np.int64)
+        strides = topo._strides
+        depth = len(strides)
+        rank_node = pu // strides[0]
+
+        # Vectorized common-ancestor depth: components are nested, so
+        # the depth of the deepest common ancestor of two PUs is simply
+        # the number of levels at which they fall in the same component
+        # (equality at a deep level implies equality at every shallower
+        # one).  This replaces an O(n^2) Python loop of per-pair
+        # topology queries.
+        cd = np.zeros((n, n), dtype=np.int64)
+        for stride in strides:
+            comp = pu // stride
+            cd += comp[:, None] == comp[None, :]
+
+        # Sharing classes in first-appearance (row-major) order — the
+        # order the scalar per-pair loop produced, which route_classes
+        # consumers observe.  Depth <-> class name is a bijection:
+        # 0 = "cluster", depth = "self", else the level name.
+        flat = cd.ravel()
+        first_seen = {
+            int(d): int(np.argmax(flat == d)) for d in np.unique(flat)
+        }
+        class_names: List[str] = []
+        class_index: Dict[str, int] = {}
+        lut_idx = np.zeros(depth + 1, dtype=np.uint16)
+        lut_alpha = np.zeros(depth + 1, dtype=np.float64)
+        lut_bw = np.ones(depth + 1, dtype=np.float64)
+        for d in sorted(first_seen, key=first_seen.get):
+            if d == 0:
+                cls = "cluster"
+            elif d == depth:
+                cls = "self"
+            else:
+                cls = topo._names[d - 1]
+            class_index[cls] = len(class_names)
+            class_names.append(cls)
+            lp = params.link_for(cls, topo)
+            lut_idx[d] = class_index[cls]
+            lut_alpha[d] = lp.latency
+            lut_bw[d] = lp.bandwidth
+        cls_idx = lut_idx[cd]
+        alpha = lut_alpha[cd]
+        bw = lut_bw[cd]
+        cross = cd == 0
+        has_mem = bool(params.mem_bandwidth)
+        mem_gate = (cd != depth) if has_mem else np.zeros((n, n), dtype=bool)
+
+        self.route_classes: Tuple[str, ...] = tuple(class_names)
+        self.route_class = cls_idx
+        self.route_alpha = alpha
+        self.route_inv_bw = 1.0 / bw
+        self.route_src_node = np.broadcast_to(rank_node[:, None], (n, n))
+        self.route_dst_node = np.broadcast_to(rank_node[None, :], (n, n))
+        self.route_cross = cross
+
+        # Flat per-pair mirrors (index src*n + dst) as plain Python
+        # scalars: transfer() runs per message, and plain-float
+        # arithmetic beats numpy scalar extraction there.  Bandwidth is
+        # kept (not its inverse) because ``nbytes / bw`` must stay the
+        # exact division the un-tabled model performed.
+        self._alpha_l = alpha.ravel().tolist()
+        self._bw_l = bw.ravel().tolist()
+        self._src_l = self.route_src_node.ravel().tolist()
+        self._dst_l = self.route_dst_node.ravel().tolist()
+        self._cross_l = cross.ravel().tolist()
+        nic_gate = cross if params.nic_serialize else np.zeros_like(cross)
+        self._nic_l = nic_gate.ravel().tolist()
+        self._mem_l = mem_gate.ravel().tolist()
+        self._cls_l = [class_names[i] for i in cls_idx.ravel().tolist()]
+        # Fused per-pair records: transfer() reads all seven parameters
+        # of a pair with one list index + tuple unpack instead of seven
+        # separate list probes.  The values are the same float/int
+        # objects as in the flat mirrors above, so costs stay bit-exact.
+        self._pair_l = list(zip(self._alpha_l, self._bw_l, self._src_l,
+                                self._dst_l, self._cross_l, self._nic_l,
+                                self._mem_l))
+        self._o_send = float(params.send_overhead)
+        self._mem_bw = params.mem_bandwidth
+        # Plain attribute (not a property): read once per receive
+        # completion on the hot path.
+        self.recv_overhead = params.recv_overhead
 
     # -- jitter ----------------------------------------------------------
 
     def reseed(self, seed: int) -> None:
         """Reset the jitter stream (one seed per repetition in §6.2)."""
         self._rng = np.random.default_rng(seed)
+        self._jit_blk = []
+        self._jit_pos = 0
+
+    def _refill_jitter(self) -> List[float]:
+        # Keep any unconsumed factors: the block is a cache over the
+        # scalar draw stream, never a resampling of it.
+        tail = self._jit_blk[self._jit_pos :]
+        fresh = np.exp(self._rng.normal(0.0, self._sigma, _JITTER_BLOCK)).tolist()
+        self._jit_blk = tail + fresh if tail else fresh
+        self._jit_pos = 0
+        return self._jit_blk
 
     def _jit(self) -> float:
         if self._sigma <= 0.0:
             return 1.0
-        return float(np.exp(self._rng.normal(0.0, self._sigma)))
+        if self._jit_pos >= len(self._jit_blk):
+            self._refill_jitter()
+        v = self._jit_blk[self._jit_pos]
+        self._jit_pos += 1
+        return v
 
     # -- the cost model ----------------------------------------------------
 
     def sharing_class(self, src_rank: int, dst_rank: int) -> str:
-        pu_s = self.binding[src_rank]
-        pu_d = self.binding[dst_rank]
-        return self.topology.common_level_name(pu_s, pu_d)
+        return self._cls_l[src_rank * self._n_ranks + dst_rank]
 
     def transfer(
         self, src_rank: int, dst_rank: int, nbytes: int, t_send: float
@@ -175,41 +330,60 @@ class Network:
         """
         if nbytes < 0:
             raise ValueError("negative message size")
-        cls = self.sharing_class(src_rank, dst_rank)
-        lp = self.params.link_for(cls, self.topology)
-        lat = lp.latency * self._jit()
-        bwt = (nbytes / lp.bandwidth) * self._jit()
-        ready = t_send + self.params.send_overhead
+        alpha, bw, src_node, dst_node, cross, nic_gate, mem_gate = \
+            self._pair_l[src_rank * self._n_ranks + dst_rank]
+        if self._sigma > 0.0:
+            blk = self._jit_blk
+            pos = self._jit_pos
+            if pos + 2 > len(blk):
+                blk = self._refill_jitter()
+                pos = 0
+            lat = alpha * blk[pos]
+            bwt = (nbytes / bw) * blk[pos + 1]
+            self._jit_pos = pos + 2
+        else:
+            lat = alpha
+            bwt = nbytes / bw
 
-        cross_node = cls == "cluster"
-        src_node = self.topology.node_of(self.binding[src_rank])
-        dst_node = self.topology.node_of(self.binding[dst_rank])
+        start = t_send + self._o_send
+        if nic_gate:
+            f = self._nic_free[src_node]
+            if f > start:
+                start = f
+        mem_gate = mem_gate and nbytes > 0
+        if mem_gate:
+            start = max(start, self._mem_free[src_node],
+                        self._mem_free[dst_node])
 
-        start = ready
-        if cross_node and self.params.nic_serialize:
-            start = max(start, float(self._nic_free[src_node]))
-        if self.params.mem_bandwidth and cls != "self" and nbytes > 0:
-            start = max(start, float(self._mem_free[src_node]),
-                        float(self._mem_free[dst_node]))
-
-        if cross_node and self.params.nic_serialize:
+        if nic_gate:
             self._nic_free[src_node] = start + bwt
-        if self.params.mem_bandwidth and cls != "self" and nbytes > 0:
+        if mem_gate:
             # Every message occupies DRAM copy bandwidth on each node it
             # touches (once per node: single-copy shared-memory model).
-            mem_t = nbytes / self.params.mem_bandwidth
+            mem_t = nbytes / self._mem_bw
             self._mem_free[src_node] = start + mem_t
             if dst_node != src_node:
                 self._mem_free[dst_node] = start + mem_t
 
         sender_done = start + bwt
         arrival = start + lat + bwt
+        self.n_messages += 1
 
-        if cross_node:
-            self.nic.record_xmit(src_node, sender_done, nbytes)
-            self.nic.record_rcv(dst_node, arrival, nbytes)
+        if cross:
+            # NicCounters.record_xmit/record_rcv, inlined (two calls per
+            # cross-node message): append to the per-node monotone
+            # (times, cumulative-bytes) series, clamping the timestamp.
+            nic = self.nic
+            times, totals = nic._xmit[src_node]
+            tv = sender_done
+            if times and tv < times[-1]:
+                tv = times[-1]
+            times.append(tv)
+            totals.append((totals[-1] if totals else 0) + int(nbytes))
+            times, totals = nic._rcv[dst_node]
+            tv = arrival
+            if times and tv < times[-1]:
+                tv = times[-1]
+            times.append(tv)
+            totals.append((totals[-1] if totals else 0) + int(nbytes))
         return sender_done, arrival
-
-    @property
-    def recv_overhead(self) -> float:
-        return self.params.recv_overhead

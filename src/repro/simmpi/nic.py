@@ -40,22 +40,25 @@ class NicCounters:
 
     # -- recording (called by the network model) ------------------------
 
+    # record_xmit/record_rcv are flattened copies of the same append
+    # (they run once each per cross-node message): events arrive in
+    # simulation order, which can differ slightly from virtual-time
+    # order, so the timestamp is clamped to keep the cumulative series
+    # monotone (a real counter is too).
+
     def record_xmit(self, node: int, time: float, nbytes: int) -> None:
-        self._record(self._xmit, node, time, nbytes)
+        times, totals = self._xmit[node]
+        if times and time < times[-1]:
+            time = times[-1]
+        times.append(time)
+        totals.append((totals[-1] if totals else 0) + int(nbytes))
 
     def record_rcv(self, node: int, time: float, nbytes: int) -> None:
-        self._record(self._rcv, node, time, nbytes)
-
-    def _record(self, table, node: int, time: float, nbytes: int) -> None:
-        times, totals = table[node]
+        times, totals = self._rcv[node]
         if times and time < times[-1]:
-            # Events are recorded in simulation order, which can differ
-            # slightly from virtual-time order; clamp to keep the
-            # cumulative series monotone (a real counter is too).
             time = times[-1]
-        prev = totals[-1] if totals else 0
         times.append(time)
-        totals.append(prev + int(nbytes))
+        totals.append((totals[-1] if totals else 0) + int(nbytes))
 
     # -- reading (what the experiment's sampler thread does) ------------
 

@@ -50,11 +50,17 @@ def combine(op: Op, a: Buffer, b: Buffer) -> Buffer:
     abstract and a concrete operand degrades to abstract (the content
     can no longer be computed) but preserves the size.
     """
-    if a.nbytes != b.nbytes and not (a.payload is None or b.payload is None):
-        raise ValueError(
-            f"reduction operands differ in size: {a.nbytes} vs {b.nbytes} bytes"
-        )
-    nbytes = max(a.nbytes, b.nbytes)
+    an, bn = a.nbytes, b.nbytes
     if a.payload is None or b.payload is None:
-        return Buffer.abstract(nbytes)
-    return Buffer(op(a.payload, b.payload), nbytes=nbytes)
+        # Buffers are immutable descriptors: the larger operand already
+        # *is* the abstract result, no allocation needed.
+        if a.payload is None and an >= bn:
+            return a
+        if b.payload is None and bn >= an:
+            return b
+        return Buffer.abstract(max(an, bn))
+    if an != bn:
+        raise ValueError(
+            f"reduction operands differ in size: {an} vs {bn} bytes"
+        )
+    return Buffer(op(a.payload, b.payload), nbytes=an)

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable, List, Optional
 
+from repro.simmpi.engine import _tls, current_process
 from repro.simmpi.errorsim import SimError
 from repro.simmpi.match import Message
 
@@ -62,44 +63,63 @@ class RecvRequest(Request):
     # -- called by the match queue -------------------------------------
 
     def bind(self, msg: Message) -> None:
+        """Attach the matched message.  Waking the poster (if it is
+        parked) is the *caller's* job: the engine's delivery sites
+        run the wake inline right after :meth:`MatchQueue.deliver`
+        returns the bound request, and binds at post time never need
+        one — the poster is the currently running process."""
         if self._msg is not None:
             raise SimError("receive request bound twice")
         self._msg = msg
-        # If the poster is parked waiting for this request, make it
-        # runnable again (we hold the baton, so this is race-free).
-        self.proc.engine.wake(self.proc)
 
     # -- caller side -------------------------------------------------------
 
+    def __repr__(self) -> str:
+        return (f"recv(source={self.source}, tag={self.tag}, "
+                f"context={self.context!r})")
+
+    def _settle_sender(self) -> None:
+        # Program order: the poster's own deferred send (and everything
+        # due before it) must have happened before completion of later
+        # operations can be observed.
+        proc = self.proc
+        if proc.pending is not None:
+            proc.engine.settle(proc)
+
     @property
     def matched(self) -> bool:
+        self._settle_sender()
         return self._msg is not None
 
     def wait(self) -> Message:
         """Block until matched, then synchronize the clock and return."""
         proc = self.proc
         engine = proc.engine
-        if proc is not engine_current(engine):
+        if proc is not getattr(_tls, "proc", None):
             raise SimError("a request must be waited by the rank that posted it")
-        while self._msg is None:
-            engine.block(
-                proc,
-                f"recv(source={self.source}, tag={self.tag}, "
-                f"context={self.context!r})",
-            )
+        if self._msg is None or proc.pending is not None:
+            # wait_obj is set before settling so the engine knows what
+            # this rank is waiting on while its deferred send is being
+            # materialized (and can elide wakes that would be spurious).
+            proc.wait_obj = self
+            try:
+                if proc.pending is not None:
+                    engine.settle(proc)
+                while self._msg is None:
+                    # The request itself is the block reason: its repr
+                    # is only rendered if a deadlock dump needs it, so
+                    # the hot path never formats a string.
+                    engine.block(proc, self)
+            finally:
+                proc.wait_obj = None
         msg = self._msg
         proc.clock = max(proc.clock, msg.arrival) + engine.network.recv_overhead
         return msg
 
     def test(self) -> bool:
         """Non-advancing completion check (no clock movement)."""
+        self._settle_sender()
         return self._msg is not None
-
-
-def engine_current(engine):
-    from repro.simmpi.engine import current_process
-
-    return current_process()
 
 
 def waitall(requests: Iterable[Request]) -> List[Optional[Message]]:

@@ -30,13 +30,19 @@ __all__ = ["TraceEvent", "MessageTracer"]
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One point-to-point message, as a trace record."""
+    """One trace record: ``count`` messages to one peer.
+
+    ``count`` is almost always 1; batched records from segmented
+    collectives (``PmlMonitoring.record_batch``) appear as a single
+    event carrying the multiplicity and the *total* byte volume.
+    """
 
     time: float  # sender's virtual clock at the send
     src: int  # world ranks
     dst: int
     nbytes: int
     category: str  # p2p | coll | osc
+    count: int = 1
 
 
 class MessageTracer:
@@ -55,26 +61,29 @@ class MessageTracer:
 
     @classmethod
     def install(cls, engine) -> "MessageTracer":
-        """Wrap the engine's pml ``record`` hook; tracing is
-        independent of the monitoring mode (it sees messages even when
+        """Attach to the pml's trace hook; tracing is independent of
+        the monitoring mode (it sees messages even when
         ``pml_monitoring_enable`` is 0)."""
         tracer = cls(engine.n_ranks)
-        pml = engine.pml
-        original = pml.record
 
-        def record(src: int, dst: int, nbytes: int, category: str) -> bool:
-            from repro.simmpi.engine import current_process
+        def hook(t, src: int, dst: int, nbytes: int, category: str,
+                 count: int) -> None:
+            if t is None:
+                # Direct records (OSC, tests) run on the sender's own
+                # thread; deferred sends pass the send-time explicitly.
+                from repro.simmpi.engine import current_process
 
+                t = current_process().clock
             tracer.events.append(TraceEvent(
-                time=current_process().clock,
+                time=t,
                 src=src,
                 dst=dst,
                 nbytes=int(nbytes),
                 category=category,
+                count=int(count),
             ))
-            return original(src, dst, nbytes, category)
 
-        pml.record = record
+        engine.pml.trace_hook = hook
         return tracer
 
     # -- offline reductions ---------------------------------------------------
@@ -86,7 +95,7 @@ class MessageTracer:
         m = np.zeros((self.world_size, self.world_size), dtype=np.int64)
         for e in self.events:
             if category is None or e.category == category:
-                m[e.src, e.dst] += 1
+                m[e.src, e.dst] += e.count
         return m
 
     def size_matrix(self, category: Optional[str] = None) -> np.ndarray:
@@ -120,12 +129,15 @@ class MessageTracer:
     # -- persistence (per-process trace files, like EZtrace) ----------------
 
     def dump(self, path: str) -> None:
-        """One line per event: ``time src dst nbytes category``."""
+        """One line per event: ``time src dst nbytes category count``."""
         with open(path, "w", encoding="ascii") as fh:
             fh.write("# simmpi message trace\n")
             fh.write(f"# world_size={self.world_size} events={len(self.events)}\n")
             for e in self.events:
-                fh.write(f"{e.time:.9f} {e.src} {e.dst} {e.nbytes} {e.category}\n")
+                fh.write(
+                    f"{e.time:.9f} {e.src} {e.dst} {e.nbytes} "
+                    f"{e.category} {e.count}\n"
+                )
 
     @classmethod
     def load(cls, path: str) -> "MessageTracer":
@@ -138,9 +150,12 @@ class MessageTracer:
                     if "world_size=" in line:
                         world_size = int(line.split("world_size=")[1].split()[0])
                     continue
-                t, src, dst, nbytes, cat = line.split()
+                fields = line.split()
+                # Older traces have no count column; default to 1.
+                t, src, dst, nbytes, cat = fields[:5]
+                count = int(fields[5]) if len(fields) > 5 else 1
                 events.append(TraceEvent(float(t), int(src), int(dst),
-                                         int(nbytes), cat))
+                                         int(nbytes), cat, count))
         tracer = cls(world_size or (max(max(e.src, e.dst) for e in events) + 1
                                     if events else 1))
         tracer.events = events

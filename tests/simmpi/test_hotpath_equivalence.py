@@ -1,0 +1,133 @@
+"""Hot-path equivalence and scheduler fast-handoff tests.
+
+The optimized engine (precomputed route tables, batched monitoring,
+fused send materialization) must be *bit-exact* against the golden
+snapshots captured from the seed implementation: every per-rank virtual
+clock, monitoring matrix digest, NIC counter, and switch count.  The
+``fast`` handoff policy trades that exactness for fewer baton handoffs;
+it must still be deterministic per seed and preserve the monitoring
+totals (message counts and bytes do not depend on interleaving).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.simmpi import Cluster, Engine
+
+from scripts.capture_hotpath_golden import snapshot_engine
+from tests.golden.hotpath_workloads import WORKLOADS
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "golden", "hotpath_golden.json"
+)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH, encoding="ascii") as fh:
+        return json.load(fh)
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_matches_seed_golden(name, golden):
+    """Clocks, matrices, NIC counters, and switches match the seed
+    implementation bit-for-bit (floats compared in hex form)."""
+    engine, results = WORKLOADS[name]()
+    snap = snapshot_engine(engine)
+    snap["results"] = results
+    expected = golden[name]
+    # Compare field by field for a readable diff on failure.
+    assert sorted(snap) == sorted(expected)
+    for key in expected:
+        assert snap[key] == expected[key], f"{name}: {key} diverged from seed"
+
+
+# -- fast handoff -----------------------------------------------------------
+
+
+def _fig6_shaped(handoff: str, seed: int = 7):
+    """Fig. 6-shaped pipelined workload, built directly so the engine's
+    ``handoff`` policy can be chosen (the golden workloads pin exact)."""
+    from repro.apps.microbench import grouped_allgather_benchmark
+
+    cluster = Cluster.plafrim(2, binding="rr")
+    engine = Engine(cluster, seed=seed, handoff=handoff)
+
+    def program(comm):
+        res = grouped_allgather_benchmark(
+            comm, group_size=8, n_ints=256, iterations=3
+        )
+        return [float.hex(res.t1), float.hex(res.t2), float.hex(res.t3)]
+
+    results = engine.run(program)
+    return engine, results
+
+
+def test_handoff_validation():
+    cluster = Cluster.plafrim(1)
+    with pytest.raises(ValueError):
+        Engine(cluster, handoff="bogus")
+    assert Engine(cluster).handoff == "exact"
+    assert Engine(cluster, handoff="fast").handoff == "fast"
+
+
+def test_fast_mode_deterministic():
+    """Two runs with the same seed produce identical snapshots."""
+    eng_a, res_a = _fig6_shaped("fast")
+    eng_b, res_b = _fig6_shaped("fast")
+    assert res_a == res_b
+    assert snapshot_engine(eng_a) == snapshot_engine(eng_b)
+
+
+def test_fast_mode_reduces_switches():
+    """Acceptance bar: >= 30% fewer baton handoffs on the Fig. 6
+    microbenchmark (pipelined ring allgathers)."""
+    eng_exact, _ = _fig6_shaped("exact")
+    eng_fast, _ = _fig6_shaped("fast")
+    assert eng_fast.messages == eng_exact.messages  # same traffic
+    assert eng_fast.switches <= 0.7 * eng_exact.switches
+
+
+def test_fast_mode_preserves_monitoring_totals():
+    """Interleaving may differ, but what was sent does not: per-category
+    (messages, bytes) totals are identical across handoff policies."""
+    from repro.simmpi.pml_monitoring import CATEGORIES
+
+    def build(handoff):
+        cluster = Cluster.plafrim(2, binding="rr")
+        engine = Engine(cluster, seed=5, handoff=handoff)
+
+        def program(comm):
+            comm.engine.pml.set_mode(2)
+            comm.barrier()
+            comm.allgather(None, nbytes=4_000, algorithm="ring")
+            comm.sendrecv(None, dest=(comm.rank + 1) % comm.size,
+                          source=(comm.rank - 1) % comm.size, nbytes=64)
+
+        engine.run(program)
+        return engine
+
+    eng_exact = build("exact")
+    eng_fast = build("fast")
+    for cat in CATEGORIES:
+        assert eng_fast.pml.totals(cat) == eng_exact.pml.totals(cat)
+
+
+def test_messages_counter():
+    """``engine.messages`` counts injected messages: one sendrecv per
+    rank on a pure point-to-point program is exactly ``n_ranks``."""
+    cluster = Cluster.plafrim(1, binding="packed")
+    engine = Engine(cluster, seed=0)
+
+    def program(comm):
+        comm.sendrecv(None, dest=(comm.rank + 1) % comm.size,
+                      source=(comm.rank - 1) % comm.size, nbytes=100)
+
+    assert engine.messages == 0
+    engine.run(program)
+    assert engine.messages == cluster.n_ranks
+    assert engine.switches > 0

@@ -147,7 +147,7 @@ class TestJitter:
         net = Network(topo, list(range(8)), p, seed=1)
         a = net.transfer(0, 4, 1000, 0.0)
         net.reseed(1)
-        net._nic_free[:] = 0  # reset resource state too
+        net._nic_free[:] = [0.0] * len(net._nic_free)  # reset resource state too
         assert net.transfer(0, 4, 1000, 0.0) == a
 
 
