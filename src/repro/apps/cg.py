@@ -468,3 +468,44 @@ def run_cg(comm, config: CGConfig, skip_init: bool = False,
         "iterations": n,
         "zeta": state.zeta,
     }
+
+
+def main(argv=None) -> int:
+    """Demo entry point: modeled NPB CG on a simulated cluster
+    (``python -m repro.apps.cg``)."""
+    from repro.experiments.common import experiment_parser, render_table
+    from repro.simmpi import Cluster, Engine
+
+    parser = experiment_parser(
+        "python -m repro.apps.cg",
+        "NAS CG kernel (modeled mode) on a simulated cluster.",
+        sizes_help="power-of-two rank counts (default 16)",
+    )
+    parser.add_argument("--cg-class", dest="cg_class", default="S",
+                        choices=sorted(CG_CLASSES))
+    parser.add_argument("--iters", type=int, default=2,
+                        help="timed outer iterations (default 2)")
+    args = parser.parse_args(argv)
+    rank_counts = args.sizes or (16,)
+
+    rows = []
+    for np_count in rank_counts:
+        cluster = Cluster.plafrim(
+            max(1, -(-np_count // 24)), n_ranks=np_count, binding="rr")
+        engine = Engine(cluster, seed=args.seed)
+        config = CGConfig(CG_CLASSES[args.cg_class], mode="modeled",
+                          niter=args.iters)
+        stats = engine.run(lambda comm: run_cg(comm, config))
+        r0 = stats[0]
+        rows.append((np_count, round(r0["time"], 4),
+                     round(r0["comm_time"], 4), r0["mpi_calls"]))
+    print(render_table(
+        ["NP", "time (s)", "comm (s)", "MPI calls"], rows,
+        title=f"CG class {args.cg_class}, {args.iters} timed iterations "
+              "(rank-0 view)",
+    ))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

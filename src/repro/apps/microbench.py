@@ -133,3 +133,39 @@ def grouped_allgather_benchmark(
     return GroupBenchResult(
         t1=t1, t2=t2, t3=t3, group_rank=group.rank, group_size=group.size
     )
+
+
+def main(argv=None) -> int:
+    """Demo entry point: time the Fig. 5 collective kernel on a small
+    simulated cluster (``python -m repro.apps.microbench``)."""
+    from repro.experiments.common import experiment_parser, render_table
+    from repro.simmpi import Cluster, Engine
+
+    parser = experiment_parser(
+        "python -m repro.apps.microbench",
+        "Time one collective across buffer sizes on a simulated cluster.",
+        sizes_help="buffer sizes in MPI_INT counts (default 1e6,1e7)",
+    )
+    parser.add_argument("--op", choices=["reduce", "bcast"], default="reduce")
+    parser.add_argument("--nodes", type=int, default=2)
+    args = parser.parse_args(argv)
+    sizes = args.sizes or (1_000_000, 10_000_000)
+
+    cluster = Cluster.plafrim(args.nodes, binding="rr")
+    engine = Engine(cluster, seed=args.seed)
+
+    def program(comm):
+        return [(n, collective_kernel(comm, args.op, n)) for n in sizes]
+
+    rows = engine.run(program)[0]
+    print(render_table(
+        ["ints", "time (s)"],
+        [(n, round(t, 5)) for n, t in rows],
+        title=f"MPI_{args.op.capitalize()} on {cluster.n_ranks} "
+              "round-robin ranks",
+    ))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -54,6 +54,7 @@ from repro.core.errors import (  # noqa: F401
     SessionStillActive,
     raise_for_code,
 )
+from repro.core.fingerprint import package_fingerprint, tree_fingerprint  # noqa: F401
 from repro.core.flushio import read_profile  # noqa: F401
 from repro.core.pythonic import MonitoringSession, monitoring  # noqa: F401
 from repro.core.session import MonitoringRuntime, Msid, Session  # noqa: F401

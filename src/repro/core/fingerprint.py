@@ -1,0 +1,65 @@
+"""Content fingerprints for cache invalidation.
+
+The sweep cache (:mod:`repro.sweep.cache`) keys every stored result on
+a *code fingerprint* of the ``repro`` package: any edit to any source
+file changes the fingerprint and orphans stale cache entries, so a
+cached result is only ever served by the exact code that produced it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import Iterable, List, Tuple
+
+__all__ = ["file_digest", "tree_fingerprint", "package_fingerprint"]
+
+_CHUNK = 1 << 16
+
+
+def file_digest(path: str) -> str:
+    """SHA-256 hex digest of one file's bytes."""
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        while True:
+            chunk = fh.read(_CHUNK)
+            if not chunk:
+                break
+            h.update(chunk)
+    return h.hexdigest()
+
+
+def _iter_source_files(root: str, suffixes: Tuple[str, ...]) -> List[str]:
+    out = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for name in sorted(filenames):
+            if name.endswith(suffixes):
+                out.append(os.path.join(dirpath, name))
+    return out
+
+
+def tree_fingerprint(root: str, suffixes: Iterable[str] = (".py",)) -> str:
+    """SHA-256 over (relative path, content digest) of every source file
+    under ``root``, walked in sorted order.
+
+    Renames, additions, deletions and edits all change the result;
+    ``__pycache__`` and non-source files do not.
+    """
+    root = os.path.abspath(root)
+    suffixes = tuple(suffixes)
+    h = hashlib.sha256()
+    for path in _iter_source_files(root, suffixes):
+        rel = os.path.relpath(path, root).replace(os.sep, "/")
+        h.update(rel.encode("utf-8"))
+        h.update(b"\0")
+        h.update(file_digest(path).encode("ascii"))
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+def package_fingerprint() -> str:
+    """Fingerprint of the installed ``repro`` package source tree."""
+    import repro
+
+    return tree_fingerprint(os.path.dirname(os.path.abspath(repro.__file__)))

@@ -5,17 +5,21 @@ Usage::
     python -m repro.experiments fig2
     python -m repro.experiments fig4
     python -m repro.experiments fig5 --op reduce
-    python -m repro.experiments fig6
-    python -m repro.experiments fig7
+    python -m repro.experiments fig6 --sizes 1,100,10000
+    python -m repro.experiments fig7 --seed 3
     python -m repro.experiments table1
     python -m repro.experiments all
 
-Set ``REPRO_FULL=1`` for the paper-scale grids.
+Every experiment accepts ``--seed`` and ``--sizes`` (the shared parser
+in :mod:`repro.experiments.common`); each ``fig*.py`` module is also
+directly runnable (``python -m repro.experiments.fig5_collectives``)
+with experiment-specific extras.  Set ``REPRO_FULL=1`` for the
+paper-scale grids.  For cached, parallel, fault-tolerant runs of the
+same grids use ``python -m repro.sweep run``.
 """
 
 from __future__ import annotations
 
-import argparse
 import sys
 
 from repro.experiments import (
@@ -26,33 +30,44 @@ from repro.experiments import (
     fig7_cg,
     table1_treematch,
 )
+from repro.experiments.common import experiment_parser
 
 
-def run_fig2(_args) -> None:
-    print(fig2_counters.report(fig2_counters.run()))
+def run_fig2(args) -> None:
+    size_range = fig2_counters.DEFAULT_SIZE_RANGE
+    if args.sizes is not None and len(args.sizes) == 2:
+        size_range = (args.sizes[0], args.sizes[1])
+    seed = 42 if args.seed is None else args.seed
+    print(fig2_counters.report(
+        fig2_counters.run(seed=seed, size_range=size_range)))
 
 
-def run_fig4(_args) -> None:
-    print(fig4_overhead.report(fig4_overhead.run()))
+def run_fig4(args) -> None:
+    print(fig4_overhead.report(fig4_overhead.run(
+        sizes=args.sizes or fig4_overhead.DEFAULT_SIZES, seed=args.seed or 0)))
 
 
 def run_fig5(args) -> None:
     ops = [args.op] if args.op else ["reduce", "bcast"]
     for op in ops:
-        print(fig5_collectives.report(fig5_collectives.run(op)))
+        print(fig5_collectives.report(
+            fig5_collectives.run(op, sizes=args.sizes, seed=args.seed or 0)))
         print()
 
 
-def run_fig6(_args) -> None:
-    print(fig6_allgather.report(fig6_allgather.run()))
+def run_fig6(args) -> None:
+    print(fig6_allgather.report(
+        fig6_allgather.run(sizes=args.sizes, seed=args.seed or 0)))
 
 
-def run_fig7(_args) -> None:
-    print(fig7_cg.report(fig7_cg.run()))
+def run_fig7(args) -> None:
+    print(fig7_cg.report(
+        fig7_cg.run(rank_counts=args.sizes, seed=args.seed or 0)))
 
 
-def run_table1(_args) -> None:
-    print(table1_treematch.report(table1_treematch.run()))
+def run_table1(args) -> None:
+    print(table1_treematch.report(
+        table1_treematch.run(sizes=args.sizes, seed=args.seed or 0)))
 
 
 RUNNERS = {
@@ -67,9 +82,12 @@ RUNNERS = {
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.experiments",
-        description="Regenerate a table/figure of the paper.",
+    parser = experiment_parser(
+        "python -m repro.experiments",
+        "Regenerate a table/figure of the paper.",
+        sizes_help="experiment-specific size grid "
+                   "(buffer sizes, byte sizes, NP counts or matrix orders)",
+        default_seed=None,
     )
     parser.add_argument("experiment", choices=sorted(RUNNERS) + ["all"])
     parser.add_argument("--op", choices=["reduce", "bcast"], default=None,

@@ -9,11 +9,19 @@ EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import argparse
 import os
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
-__all__ = ["full_scale", "Series", "render_table", "geomean"]
+__all__ = [
+    "full_scale",
+    "Series",
+    "render_table",
+    "geomean",
+    "parse_sizes",
+    "experiment_parser",
+]
 
 
 def full_scale() -> bool:
@@ -64,6 +72,49 @@ def _fmt(v: Any) -> str:
             return f"{v:.3g}"
         return f"{v:.4g}"
     return str(v)
+
+
+def parse_sizes(text: str) -> Tuple[int, ...]:
+    """``"1000,2e6,5_000"`` → ``(1000, 2000000, 5000)``.
+
+    Accepts comma-separated integers with ``_`` separators or scientific
+    notation (``2e8``), matching how the paper states its grids.
+    """
+    out = []
+    for token in text.split(","):
+        token = token.strip().replace("_", "")
+        if not token:
+            continue
+        value = float(token)
+        if value != int(value):
+            raise argparse.ArgumentTypeError(f"size {token!r} is not an integer")
+        out.append(int(value))
+    if not out:
+        raise argparse.ArgumentTypeError(f"no sizes in {text!r}")
+    return tuple(out)
+
+
+def experiment_parser(
+    prog: str,
+    description: str,
+    sizes_help: str = "comma-separated grid of sizes (module default if omitted)",
+    default_seed: Optional[int] = 0,
+) -> argparse.ArgumentParser:
+    """The shared CLI skeleton for every ``experiments/fig*.py`` driver.
+
+    Every driver accepts ``--seed`` and ``--sizes`` with the same
+    spelling and semantics, so the sweep registry
+    (:mod:`repro.sweep.registry`) can enumerate any experiment's grid
+    without duplicating per-script defaults.  Drivers add their own
+    experiment-specific options on top.
+    """
+    parser = argparse.ArgumentParser(prog=prog, description=description)
+    seed_note = "module default" if default_seed is None else str(default_seed)
+    parser.add_argument("--seed", type=int, default=default_seed,
+                        help=f"RNG seed (default {seed_note})")
+    parser.add_argument("--sizes", type=parse_sizes, default=None,
+                        metavar="N,N,...", help=sizes_help)
+    return parser
 
 
 def geomean(values: Sequence[float]) -> float:

@@ -23,10 +23,12 @@ import numpy as np
 from repro.core import api as mapi
 from repro.core.constants import Flags, MPI_M_DATA_IGNORE
 from repro.core.errors import raise_for_code
-from repro.experiments.common import Series, render_table
+from repro.experiments.common import Series, experiment_parser, render_table
 from repro.simmpi import Cluster, Engine
 
-__all__ = ["CounterComparison", "run", "report"]
+__all__ = ["CounterComparison", "run", "report", "main", "DEFAULT_SIZE_RANGE"]
+
+DEFAULT_SIZE_RANGE = (1_000, 800_000)  # the paper's random 1–800 KB sends
 
 _SENTINEL_TAG = 99
 _DATA_TAG = 7
@@ -56,7 +58,7 @@ class CounterComparison:
 
 
 def _sender(comm, duration: float, sample_dt: float, seed: int,
-            size_range=(1_000, 800_000), sleep_range=(0.05, 1.0)):
+            size_range=DEFAULT_SIZE_RANGE, sleep_range=(0.05, 1.0)):
     engine = comm.engine
     nic = engine.network.nic
     lanes = nic.lanes
@@ -127,14 +129,15 @@ def _receiver(comm):
 
 
 def run(duration: float = 5.0, sample_dt: float = 0.010, seed: int = 42,
-        jitter: float = 0.0) -> CounterComparison:
+        jitter: float = 0.0, size_range=DEFAULT_SIZE_RANGE) -> CounterComparison:
     """Run the §6.1 comparison; returns the aligned sample series."""
     cluster = Cluster.ib_pair(jitter=jitter, seed=seed)
     engine = Engine(cluster, seed=seed)
 
     def program(comm):
         if comm.rank == 0:
-            return _sender(comm, duration, sample_dt, seed)
+            return _sender(comm, duration, sample_dt, seed,
+                           size_range=size_range)
         return _receiver(comm)
 
     results = engine.run(program)
@@ -155,3 +158,27 @@ def report(result: CounterComparison) -> str:
         ["quantity", "value"], rows,
         title="Fig. 2/3 — HW counters vs introspection monitoring",
     )
+
+
+def main(argv=None) -> int:
+    parser = experiment_parser(
+        "python -m repro.experiments.fig2_counters", __doc__,
+        sizes_help="message-size range as LO,HI bytes "
+                   f"(default {DEFAULT_SIZE_RANGE[0]},{DEFAULT_SIZE_RANGE[1]})",
+        default_seed=42,
+    )
+    parser.add_argument("--duration", type=float, default=5.0,
+                        help="virtual seconds of sender activity")
+    args = parser.parse_args(argv)
+    size_range = DEFAULT_SIZE_RANGE
+    if args.sizes is not None:
+        if len(args.sizes) != 2:
+            parser.error("--sizes takes exactly LO,HI for this experiment")
+        size_range = (args.sizes[0], args.sizes[1])
+    print(report(run(duration=args.duration, seed=args.seed,
+                     size_range=size_range)))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,10 +21,11 @@ from scipy import stats
 
 from repro.core import api as mapi
 from repro.core.errors import raise_for_code
-from repro.experiments.common import full_scale, render_table
+from repro.experiments.common import experiment_parser, full_scale, render_table
 from repro.simmpi import Cluster, Engine
 
-__all__ = ["OverheadPoint", "measure_reduce_times", "run", "report"]
+__all__ = ["OverheadPoint", "measure_reduce_times", "run_point", "run",
+           "report", "main"]
 
 DEFAULT_SIZES = (1, 10, 100, 1_000, 10_000)  # bytes, the paper's x-range
 
@@ -84,6 +85,37 @@ def measure_reduce_times(
     return np.asarray(results[0])  # the root's timings
 
 
+def run_point(
+    n_nodes: int,
+    size_bytes: int,
+    reps: int = 0,
+    jitter: float = 0.08,
+    seed: int = 0,
+) -> OverheadPoint:
+    """One (NP, size) cell of Fig. 4 — a pure function of its
+    parameters, usable as a sweep cell."""
+    if reps <= 0:
+        reps = 180 if full_scale() else 40
+    t_mon = measure_reduce_times(n_nodes, size_bytes, reps, True,
+                                 jitter=jitter, seed=seed + 1)
+    t_off = measure_reduce_times(n_nodes, size_bytes, reps, False,
+                                 jitter=jitter, seed=seed + 2)
+    diff_us = (t_mon.mean() - t_off.mean()) * 1e6
+    # Unpaired Welch CI on the difference of means (the paper's
+    # "unpaired T test with unequal variance").
+    se = np.sqrt(t_mon.var(ddof=1) / len(t_mon)
+                 + t_off.var(ddof=1) / len(t_off)) * 1e6
+    dof = _welch_dof(t_mon, t_off)
+    ci = float(stats.t.ppf(0.975, dof) * se)
+    return OverheadPoint(
+        np_ranks=24 * n_nodes,
+        size_bytes=size_bytes,
+        mean_diff_us=float(diff_us),
+        ci95_us=ci,
+        n_reps=reps,
+    )
+
+
 def run(
     node_counts: Sequence[int] = (2, 4, 8),
     sizes: Sequence[int] = DEFAULT_SIZES,
@@ -93,30 +125,11 @@ def run(
 ) -> List[OverheadPoint]:
     """The full Fig. 4 grid.  ``reps`` defaults to 180 under
     REPRO_FULL, 40 otherwise."""
-    if reps <= 0:
-        reps = 180 if full_scale() else 40
-    points: List[OverheadPoint] = []
-    for n_nodes in node_counts:
-        for size in sizes:
-            t_mon = measure_reduce_times(n_nodes, size, reps, True,
-                                         jitter=jitter, seed=seed + 1)
-            t_off = measure_reduce_times(n_nodes, size, reps, False,
-                                         jitter=jitter, seed=seed + 2)
-            diff_us = (t_mon.mean() - t_off.mean()) * 1e6
-            # Unpaired Welch CI on the difference of means (the paper's
-            # "unpaired T test with unequal variance").
-            se = np.sqrt(t_mon.var(ddof=1) / len(t_mon)
-                         + t_off.var(ddof=1) / len(t_off)) * 1e6
-            dof = _welch_dof(t_mon, t_off)
-            ci = float(stats.t.ppf(0.975, dof) * se)
-            points.append(OverheadPoint(
-                np_ranks=24 * n_nodes,
-                size_bytes=size,
-                mean_diff_us=float(diff_us),
-                ci95_us=ci,
-                n_reps=reps,
-            ))
-    return points
+    return [
+        run_point(n_nodes, size, reps=reps, jitter=jitter, seed=seed)
+        for n_nodes in node_counts
+        for size in sizes
+    ]
 
 
 def _welch_dof(a: np.ndarray, b: np.ndarray) -> float:
@@ -142,3 +155,24 @@ def report(points: List[OverheadPoint]) -> str:
               "(positive = monitored slower)",
     )
     return table + f"\nworst-case |overhead|: {worst:.3f} us (paper: < 5 us)"
+
+
+def main(argv=None) -> int:
+    parser = experiment_parser(
+        "python -m repro.experiments.fig4_overhead", __doc__,
+        sizes_help="message sizes in bytes "
+                   f"(default {','.join(map(str, DEFAULT_SIZES))})",
+    )
+    parser.add_argument("--nodes", type=int, nargs="+", default=(2, 4, 8),
+                        help="node counts (24 ranks per node)")
+    parser.add_argument("--reps", type=int, default=0,
+                        help="repetitions (default: 40, or 180 under REPRO_FULL)")
+    args = parser.parse_args(argv)
+    print(report(run(node_counts=tuple(args.nodes),
+                     sizes=args.sizes or DEFAULT_SIZES,
+                     reps=args.reps, seed=args.seed)))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,12 +28,14 @@ import numpy as np
 from repro.core import api as mapi
 from repro.core.constants import Flags, MPI_M_DATA_IGNORE
 from repro.core.errors import raise_for_code
-from repro.experiments.common import Series, full_scale, render_table
+from repro.experiments.common import (Series, experiment_parser, full_scale,
+                                      render_table)
 from repro.placement.reorder import reorder_from_matrix
 from repro.simmpi import Cluster, Engine
 from repro.apps.microbench import collective_kernel
 
-__all__ = ["CollectivePoint", "run", "report", "DEFAULT_SIZES", "FULL_SIZES"]
+__all__ = ["CollectivePoint", "run_cell", "run", "report", "main",
+           "DEFAULT_SIZES", "FULL_SIZES"]
 
 DEFAULT_SIZES = (1_000_000, 2_000_000, 5_000_000, 10_000_000, 20_000_000)
 FULL_SIZES = DEFAULT_SIZES + (50_000_000, 100_000_000, 200_000_000)
@@ -72,6 +74,62 @@ def _measure(comm, op: str, n_ints: int, reps: int = 3) -> float:
     return float(comm.allreduce(np.float64(local), MAXOP))
 
 
+def run_cell(
+    op: str,
+    n_nodes: int,
+    sizes: Optional[Sequence[int]] = None,
+    reps: int = 3,
+    seed: int = 0,
+) -> List[CollectivePoint]:
+    """One Fig. 5 cell: a single (op, node count) engine run covering
+    the whole buffer-size sweep.  The monitoring + reordering step is
+    shared by every size, so this is the smallest independently
+    computable unit of the figure — a pure function of its parameters,
+    usable as a sweep cell."""
+    if sizes is None:
+        sizes = FULL_SIZES if full_scale() else DEFAULT_SIZES
+    cluster = Cluster.plafrim(n_nodes, binding="rr")
+    engine = Engine(cluster, seed=seed)
+
+    def program(comm):
+        out = []
+        # --- baseline sweep on the round-robin mapping
+        for n_ints in sizes:
+            out.append(("base", n_ints, _measure(comm, op, n_ints, reps)))
+        # --- monitor one collective's decomposition and reorder
+        raise_for_code(mapi.mpi_m_init())
+        err, msid = mapi.mpi_m_start(comm)
+        raise_for_code(err)
+        collective_kernel(comm, op, sizes[0])
+        raise_for_code(mapi.mpi_m_suspend(msid))
+        err, _, size_mat = mapi.mpi_m_rootgather_data(
+            msid, 0, MPI_M_DATA_IGNORE, None, Flags.COLL_ONLY
+        )
+        raise_for_code(err)
+        raise_for_code(mapi.mpi_m_free(msid))
+        raise_for_code(mapi.mpi_m_finalize())
+        opt, _k = reorder_from_matrix(comm, size_mat)
+        # --- reordered sweep
+        for n_ints in sizes:
+            out.append(("reord", n_ints, _measure(opt, op, n_ints, reps)))
+        return out
+
+    results = engine.run(program)
+    rows = results[0]
+    base = {n: t for kind, n, t in rows if kind == "base"}
+    reord = {n: t for kind, n, t in rows if kind == "reord"}
+    return [
+        CollectivePoint(
+            op=op,
+            np_ranks=cluster.n_ranks,
+            n_ints=n_ints,
+            t_baseline=base[n_ints],
+            t_reordered=reord[n_ints],
+        )
+        for n_ints in sizes
+    ]
+
+
 def run(
     op: str,
     node_counts: Sequence[int] = (2, 4, 8),
@@ -80,48 +138,9 @@ def run(
     seed: int = 0,
 ) -> List[CollectivePoint]:
     """Fig. 5a (``op="reduce"``) or Fig. 5b (``op="bcast"``)."""
-    if sizes is None:
-        sizes = FULL_SIZES if full_scale() else DEFAULT_SIZES
     points: List[CollectivePoint] = []
     for n_nodes in node_counts:
-        cluster = Cluster.plafrim(n_nodes, binding="rr")
-        engine = Engine(cluster, seed=seed)
-
-        def program(comm):
-            out = []
-            # --- baseline sweep on the round-robin mapping
-            for n_ints in sizes:
-                out.append(("base", n_ints, _measure(comm, op, n_ints, reps)))
-            # --- monitor one collective's decomposition and reorder
-            raise_for_code(mapi.mpi_m_init())
-            err, msid = mapi.mpi_m_start(comm)
-            raise_for_code(err)
-            collective_kernel(comm, op, sizes[0])
-            raise_for_code(mapi.mpi_m_suspend(msid))
-            err, _, size_mat = mapi.mpi_m_rootgather_data(
-                msid, 0, MPI_M_DATA_IGNORE, None, Flags.COLL_ONLY
-            )
-            raise_for_code(err)
-            raise_for_code(mapi.mpi_m_free(msid))
-            raise_for_code(mapi.mpi_m_finalize())
-            opt, _k = reorder_from_matrix(comm, size_mat)
-            # --- reordered sweep
-            for n_ints in sizes:
-                out.append(("reord", n_ints, _measure(opt, op, n_ints, reps)))
-            return out
-
-        results = engine.run(program)
-        rows = results[0]
-        base = {n: t for kind, n, t in rows if kind == "base"}
-        reord = {n: t for kind, n, t in rows if kind == "reord"}
-        for n_ints in sizes:
-            points.append(CollectivePoint(
-                op=op,
-                np_ranks=cluster.n_ranks,
-                n_ints=n_ints,
-                t_baseline=base[n_ints],
-                t_reordered=reord[n_ints],
-            ))
+        points.extend(run_cell(op, n_nodes, sizes=sizes, reps=reps, seed=seed))
     return points
 
 
@@ -138,3 +157,26 @@ def report(points: List[CollectivePoint]) -> str:
         title=f"Fig. 5 — MPI_{op.capitalize()} runtime: round-robin vs "
               "introspection-monitoring + rank reordering",
     )
+
+
+def main(argv=None) -> int:
+    parser = experiment_parser(
+        "python -m repro.experiments.fig5_collectives", __doc__,
+        sizes_help="buffer sizes in MPI_INT counts "
+                   f"(default {','.join(map(str, DEFAULT_SIZES))})",
+    )
+    parser.add_argument("--op", choices=["reduce", "bcast"], default=None,
+                        help="run a single collective (default: both)")
+    parser.add_argument("--nodes", type=int, nargs="+", default=(2, 4, 8),
+                        help="node counts (24 ranks per node)")
+    parser.add_argument("--reps", type=int, default=3)
+    args = parser.parse_args(argv)
+    for op in ([args.op] if args.op else ["reduce", "bcast"]):
+        print(report(run(op, node_counts=tuple(args.nodes), sizes=args.sizes,
+                         reps=args.reps, seed=args.seed)))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,10 +21,11 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from repro.apps.microbench import grouped_allgather_benchmark
-from repro.experiments.common import full_scale, render_table
+from repro.experiments.common import experiment_parser, full_scale, render_table
 from repro.simmpi import Cluster, Engine
 
-__all__ = ["HeatmapCell", "run", "report", "DEFAULT_SIZES", "DEFAULT_ITERS"]
+__all__ = ["HeatmapCell", "run_cell", "run", "report", "main",
+           "DEFAULT_SIZES", "DEFAULT_ITERS"]
 
 DEFAULT_SIZES = (1, 100, 10_000, 100_000)  # MPI_INT counts
 FULL_SIZES = (1, 10, 100, 1_000, 10_000, 100_000)
@@ -41,6 +42,48 @@ class HeatmapCell:
     t2: float
     t3: float
     gain_percent: float
+
+
+def run_cell(
+    n_nodes: int,
+    n_ints: int,
+    iterations: int,
+    group_size: int = 8,
+    seed: int = 0,
+) -> HeatmapCell:
+    """One heatmap cell on a fresh engine — a pure function of its
+    parameters, usable as a sweep cell.
+
+    Unlike :func:`run` (which sweeps the whole grid inside one engine
+    run, sharing the virtual clock across cells), each cell here starts
+    from a cold simulator, so per-cell values can differ from the
+    monolithic sweep in low-order timing detail while measuring the
+    same protocol.
+    """
+    cluster = Cluster.plafrim(n_nodes, binding="rr")
+    engine = Engine(cluster, seed=seed)
+
+    def program(comm):
+        from repro.core import api as mapi
+        from repro.core.errors import raise_for_code
+
+        raise_for_code(mapi.mpi_m_init())
+        res = grouped_allgather_benchmark(
+            comm, group_size=group_size, n_ints=n_ints,
+            iterations=iterations, manage_env=False,
+        )
+        raise_for_code(mapi.mpi_m_finalize())
+        return res.t1, res.t2, res.t3
+
+    results = engine.run(program)
+    t1 = max(r[0] for r in results)
+    t2 = max(r[1] for r in results)
+    t3 = max(r[2] for r in results)
+    gain = 100.0 * (t1 - (t2 + t3)) / t1 if t1 > 0 else 0.0
+    return HeatmapCell(
+        np_ranks=cluster.n_ranks, n_ints=n_ints, iterations=iterations,
+        t1=t1, t2=t2, t3=t3, gain_percent=gain,
+    )
 
 
 def run(
@@ -118,3 +161,26 @@ def report(cells: List[HeatmapCell]) -> str:
                   "(green > 0 %: reordering pays off)",
         ))
     return "\n\n".join(out)
+
+
+def main(argv=None) -> int:
+    parser = experiment_parser(
+        "python -m repro.experiments.fig6_allgather", __doc__,
+        sizes_help="buffer sizes in MPI_INT counts "
+                   f"(default {','.join(map(str, DEFAULT_SIZES))})",
+    )
+    parser.add_argument("--iters", type=int, nargs="+", default=None,
+                        help="iteration counts (default: "
+                             f"{' '.join(map(str, DEFAULT_ITERS))})")
+    parser.add_argument("--nodes", type=int, nargs="+", default=(2,),
+                        help="node counts (24 ranks per node)")
+    parser.add_argument("--group-size", type=int, default=8)
+    args = parser.parse_args(argv)
+    print(report(run(node_counts=tuple(args.nodes), sizes=args.sizes,
+                     iteration_counts=args.iters and tuple(args.iters),
+                     group_size=args.group_size, seed=args.seed)))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

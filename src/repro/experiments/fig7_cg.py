@@ -33,11 +33,13 @@ from repro.apps.cg import CG_CLASSES, CGConfig, cg_outer_iteration, cg_setup
 from repro.core import api as mapi
 from repro.core.constants import Flags, MPI_M_DATA_IGNORE
 from repro.core.errors import raise_for_code
-from repro.experiments.common import full_scale, render_table
+from repro.experiments.common import (experiment_parser, full_scale,
+                                      render_table)
 from repro.placement.reorder import reorder_from_matrix
 from repro.simmpi import Cluster, Engine
 
-__all__ = ["CGPoint", "run_one", "run", "report", "nodes_for"]
+__all__ = ["CGPoint", "run_one", "run", "report", "nodes_for", "main",
+           "default_grid"]
 
 MAPPINGS = ("random", "rr", "standard")
 
@@ -147,6 +149,20 @@ def run_one(
     )
 
 
+def default_grid(
+    classes: Optional[Sequence[str]] = None,
+    rank_counts: Optional[Sequence[int]] = None,
+) -> List[Tuple[str, int]]:
+    """The (class, NP) pairs the figure covers at the current scale."""
+    if full_scale():
+        return [(c, p) for c in (classes or ("B", "C", "D"))
+                for p in (rank_counts or (64, 128, 256))]
+    if classes is not None or rank_counts is not None:
+        return [(c, p) for c in (classes or ("B",))
+                for p in (rank_counts or (64,))]
+    return [("B", 64), ("C", 64), ("D", 64), ("B", 128), ("B", 256)]
+
+
 def run(
     classes: Optional[Sequence[str]] = None,
     rank_counts: Optional[Sequence[int]] = None,
@@ -157,16 +173,7 @@ def run(
     """The Fig. 7 grid.  Defaults: classes B/C/D × NP 64 × all mappings
     plus class B at 128/256; REPRO_FULL runs the complete paper grid."""
     points: List[CGPoint] = []
-    if full_scale():
-        grid = [(c, p) for c in (classes or ("B", "C", "D"))
-                for p in (rank_counts or (64, 128, 256))]
-    else:
-        if classes is not None or rank_counts is not None:
-            grid = [(c, p) for c in (classes or ("B",))
-                    for p in (rank_counts or (64,))]
-        else:
-            grid = [("B", 64), ("C", 64), ("D", 64), ("B", 128), ("B", 256)]
-    for cg_class, np_ranks in grid:
+    for cg_class, np_ranks in default_grid(classes, rank_counts):
         for mapping in mappings:
             points.append(run_one(cg_class, np_ranks, mapping,
                                   sim_iters=sim_iters, seed=seed))
@@ -186,3 +193,25 @@ def report(points: List[CGPoint]) -> str:
         rows,
         title="Fig. 7 — NAS CG reordering gain (ratio > 1: reordering wins)",
     )
+
+
+def main(argv=None) -> int:
+    parser = experiment_parser(
+        "python -m repro.experiments.fig7_cg", __doc__,
+        sizes_help="rank counts NP (default: the paper grid 64,128,256)",
+    )
+    parser.add_argument("--classes", nargs="+", default=None,
+                        choices=sorted(CG_CLASSES),
+                        help="NPB classes (default: figure grid)")
+    parser.add_argument("--mappings", nargs="+", default=MAPPINGS,
+                        choices=MAPPINGS)
+    parser.add_argument("--sim-iters", type=int, default=2)
+    args = parser.parse_args(argv)
+    print(report(run(classes=args.classes, rank_counts=args.sizes,
+                     mappings=tuple(args.mappings),
+                     sim_iters=args.sim_iters, seed=args.seed)))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,11 +20,12 @@ from typing import List, Sequence
 import numpy as np
 import scipy.sparse as sp
 
-from repro.experiments.common import full_scale, render_table
+from repro.experiments.common import experiment_parser, full_scale, render_table
 from repro.placement.treematch import treematch
 from repro.simmpi.topology import Topology
 
-__all__ = ["TreeMatchTiming", "synthetic_comm_matrix", "run", "report"]
+__all__ = ["TreeMatchTiming", "synthetic_comm_matrix", "run_order", "run",
+           "report", "main"]
 
 DEFAULT_SIZES = (1024, 2048, 4096, 8192)
 FULL_SIZES = (8192, 16384, 32768, 65536)
@@ -69,21 +70,24 @@ def topology_for(n: int) -> Topology:
     return Topology([("node", nodes), ("socket", 2), ("core", 12)])
 
 
+def run_order(n: int, seed: int = 0) -> TreeMatchTiming:
+    """Time the mapping computation for one matrix order (real
+    wall-clock, not virtual) — usable as a sweep cell."""
+    matrix = synthetic_comm_matrix(n, seed=seed)
+    topo = topology_for(n)
+    pus = list(range(n))  # the first n cores, possibly partial last node
+    t0 = time.perf_counter()
+    placement = treematch(matrix, topo, allowed_pus=pus)
+    dt = time.perf_counter() - t0
+    assert sorted(placement) == pus
+    return TreeMatchTiming(order=n, seconds=dt)
+
+
 def run(sizes: Sequence[int] = None, seed: int = 0) -> List[TreeMatchTiming]:
     """Time the mapping computation (real wall-clock, not virtual)."""
     if sizes is None:
         sizes = FULL_SIZES if full_scale() else DEFAULT_SIZES
-    out: List[TreeMatchTiming] = []
-    for n in sizes:
-        matrix = synthetic_comm_matrix(n, seed=seed)
-        topo = topology_for(n)
-        pus = list(range(n))  # the first n cores, possibly partial last node
-        t0 = time.perf_counter()
-        placement = treematch(matrix, topo, allowed_pus=pus)
-        dt = time.perf_counter() - t0
-        assert sorted(placement) == pus
-        out.append(TreeMatchTiming(order=n, seconds=dt))
-    return out
+    return [run_order(n, seed=seed) for n in sizes]
 
 
 def report(timings: List[TreeMatchTiming]) -> str:
@@ -97,3 +101,18 @@ def report(timings: List[TreeMatchTiming]) -> str:
         rows,
         title="Table 1 — TreeMatch reordering computation time",
     )
+
+
+def main(argv=None) -> int:
+    parser = experiment_parser(
+        "python -m repro.experiments.table1_treematch", __doc__,
+        sizes_help="matrix orders "
+                   f"(default {','.join(map(str, DEFAULT_SIZES))})",
+    )
+    args = parser.parse_args(argv)
+    print(report(run(sizes=args.sizes, seed=args.seed)))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.sweep``."""
+
+import sys
+
+from repro.sweep.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

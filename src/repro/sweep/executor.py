@@ -1,0 +1,361 @@
+"""Sharded cell executor: a supervised multiprocessing worker pool.
+
+The executor fans cells out over ``jobs`` worker processes and
+supervises them from the parent:
+
+* **per-cell timeouts** — a worker that exceeds the deadline for its
+  cell is killed and replaced by a fresh process;
+* **crash replacement** — a worker that dies mid-cell (segfault,
+  ``os._exit``, OOM kill) is detected via its process sentinel and
+  replaced; the cell it held is requeued;
+* **bounded retries with backoff** — every requeue (crash, timeout or
+  Python exception inside the cell) counts as an attempt; a cell is
+  retried up to ``retries`` times with exponential backoff
+  (``backoff_s * 2**attempt``) before being reported as failed.
+
+Chaos injection (used by the CI ``sweep-smoke`` job and the executor
+tests) is gated behind ``REPRO_SWEEP_CHAOS``, e.g.
+``REPRO_SWEEP_CHAOS="crash=1,timeout=1"``: shared budget counters make
+exactly N workers hard-exit mid-cell / stall past the deadline, which
+must be invisible in the final results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as conn_wait
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["CellTask", "CellOutcome", "SweepExecutor", "parse_chaos"]
+
+_EXIT = ("exit",)
+
+
+def parse_chaos(text: Optional[str]) -> Dict[str, int]:
+    """``"crash=1,timeout=2"`` → ``{"crash": 1, "timeout": 2}``."""
+    out: Dict[str, int] = {}
+    if not text:
+        return out
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        kind, _, count = token.partition("=")
+        if kind not in ("crash", "timeout"):
+            raise ValueError(f"unknown chaos kind {kind!r} "
+                             "(expected crash=N or timeout=N)")
+        out[kind] = int(count or 1)
+    return out
+
+
+@dataclass
+class CellTask:
+    index: int
+    scenario: str
+    params: Dict[str, Any]
+    attempts: int = 0
+    not_before: float = 0.0  # monotonic instant gating the retry
+
+
+@dataclass
+class CellOutcome:
+    index: int
+    scenario: str
+    params: Dict[str, Any]
+    status: str  # "ok" | "failed"
+    result: Any = None
+    error: Optional[str] = None
+    attempts: int = 1
+    elapsed_s: float = 0.0  # busy time of the successful attempt
+    retry_log: List[str] = field(default_factory=list)
+
+
+def _worker_main(conn, worker_id: int, chaos_crash, chaos_timeout,
+                 stall_s: float) -> None:
+    """One worker: receive (task) tuples, compute, send results."""
+    from repro.sweep.registry import compute_cell
+
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return
+        if msg[0] == "exit":
+            return
+        _, index, scenario, params = msg
+        if chaos_crash is not None:
+            with chaos_crash.get_lock():
+                take = chaos_crash.value > 0
+                if take:
+                    chaos_crash.value -= 1
+            if take:
+                os._exit(42)  # simulated hard crash mid-cell
+        if chaos_timeout is not None:
+            with chaos_timeout.get_lock():
+                take = chaos_timeout.value > 0
+                if take:
+                    chaos_timeout.value -= 1
+            if take:
+                time.sleep(stall_s)  # stall past the per-cell deadline
+        t0 = time.perf_counter()
+        try:
+            payload = compute_cell(scenario, params)
+            conn.send(("ok", index, payload, time.perf_counter() - t0))
+        except BaseException:
+            err = traceback.format_exc(limit=30)
+            try:
+                conn.send(("err", index, err, time.perf_counter() - t0))
+            except (BrokenPipeError, OSError):
+                return
+
+
+class _WorkerSlot:
+    def __init__(self, ctx, worker_id: int, chaos_crash, chaos_timeout,
+                 stall_s: float):
+        self.id = worker_id
+        parent_conn, child_conn = ctx.Pipe()
+        self.conn = parent_conn
+        self.proc = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, worker_id, chaos_crash, chaos_timeout, stall_s),
+            daemon=True,
+            name=f"sweep-worker-{worker_id}",
+        )
+        self.proc.start()
+        child_conn.close()
+        self.task: Optional[CellTask] = None
+        self.deadline = float("inf")
+        self.assigned_at = 0.0
+        self.busy_s = 0.0  # accumulated busy time (utilization)
+
+    @property
+    def idle(self) -> bool:
+        return self.task is None
+
+    def assign(self, task: CellTask, timeout_s: float) -> None:
+        now = time.monotonic()
+        self.task = task
+        self.assigned_at = now
+        self.deadline = now + timeout_s
+        self.conn.send(("task", task.index, task.scenario, task.params))
+
+    def release(self) -> None:
+        self.busy_s += time.monotonic() - self.assigned_at
+        self.task = None
+        self.deadline = float("inf")
+
+    def kill(self) -> None:
+        if self.task is not None:
+            self.release()
+        try:
+            self.proc.kill()
+        except (OSError, AttributeError):
+            pass
+        self.proc.join(timeout=5.0)
+        self.conn.close()
+
+    def shutdown(self) -> None:
+        try:
+            self.conn.send(_EXIT)
+        except (BrokenPipeError, OSError):
+            pass
+        self.proc.join(timeout=5.0)
+        if self.proc.is_alive():
+            self.proc.kill()
+            self.proc.join(timeout=5.0)
+        self.conn.close()
+
+
+class SweepExecutor:
+    """Run cells on a supervised pool; see the module docstring."""
+
+    def __init__(
+        self,
+        jobs: int = 2,
+        timeout_s: float = 600.0,
+        retries: int = 2,
+        backoff_s: float = 0.25,
+        chaos: Optional[Dict[str, int]] = None,
+    ):
+        self.jobs = max(1, int(jobs))
+        self.timeout_s = float(timeout_s)
+        self.retries = max(0, int(retries))
+        self.backoff_s = float(backoff_s)
+        if chaos is None:
+            chaos = parse_chaos(os.environ.get("REPRO_SWEEP_CHAOS"))
+        self.chaos = chaos
+        self.workers_spawned = 0
+        self.workers_replaced = 0
+        self.utilization = 0.0
+        self._retired_busy_s = 0.0
+
+    # -- internals -----------------------------------------------------
+
+    def _ctx(self):
+        methods = multiprocessing.get_all_start_methods()
+        return multiprocessing.get_context(
+            "fork" if "fork" in methods else None)
+
+    def _spawn(self, ctx, chaos_crash, chaos_timeout) -> _WorkerSlot:
+        slot = _WorkerSlot(ctx, self.workers_spawned, chaos_crash,
+                           chaos_timeout, stall_s=self.timeout_s + 5.0)
+        self.workers_spawned += 1
+        return slot
+
+    def _replace(self, slots, i, ctx, chaos_crash, chaos_timeout) -> None:
+        slot = slots[i]
+        slot.kill()
+        self._retired_busy_s += slot.busy_s
+        slots[i] = self._spawn(ctx, chaos_crash, chaos_timeout)
+        self.workers_replaced += 1
+
+    def _requeue_or_fail(self, task: CellTask, reason: str, pending,
+                         outcomes, events) -> None:
+        task.attempts += 1
+        if task.attempts <= self.retries:
+            delay = self.backoff_s * (2.0 ** (task.attempts - 1))
+            task.not_before = time.monotonic() + delay
+            outcomes[task.index].retry_log.append(reason)
+            pending.append(task)
+            events(
+                {"type": "retry", "index": task.index, "reason": reason,
+                 "attempt": task.attempts, "backoff_s": delay})
+        else:
+            out = outcomes[task.index]
+            out.status = "failed"
+            out.error = reason
+            out.attempts = task.attempts
+            events({"type": "failed", "index": task.index, "reason": reason})
+
+    # -- main loop -----------------------------------------------------
+
+    def run(self, tasks: List[CellTask],
+            on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+            ) -> List[CellOutcome]:
+        events = on_event or (lambda e: None)
+        outcomes = {
+            t.index: CellOutcome(index=t.index, scenario=t.scenario,
+                                 params=t.params, status="pending")
+            for t in tasks
+        }
+        pending: List[CellTask] = list(tasks)
+        done = 0
+        total = len(tasks)
+        if total == 0:
+            self.utilization = 0.0
+            return []
+
+        ctx = self._ctx()
+        chaos_crash = (ctx.Value("i", self.chaos.get("crash", 0))
+                       if self.chaos.get("crash") else None)
+        chaos_timeout = (ctx.Value("i", self.chaos.get("timeout", 0))
+                         if self.chaos.get("timeout") else None)
+
+        n_workers = min(self.jobs, total)
+        slots = [self._spawn(ctx, chaos_crash, chaos_timeout)
+                 for _ in range(n_workers)]
+        t_start = time.monotonic()
+
+        def finish(slot: _WorkerSlot, kind: str, payload, elapsed: float):
+            nonlocal done
+            task = slot.task
+            slot.release()
+            out = outcomes[task.index]
+            if kind == "ok":
+                out.status = "ok"
+                out.result = payload
+                out.elapsed_s = elapsed
+                out.attempts = task.attempts + 1
+                done += 1
+                events({"type": "ok", "index": task.index,
+                        "elapsed_s": elapsed, "attempt": out.attempts,
+                        "worker": slot.id})
+            else:
+                self._requeue_or_fail(
+                    task, f"error in cell:\n{payload}", pending, outcomes,
+                    events)
+                if outcomes[task.index].status == "failed":
+                    done += 1
+
+        try:
+            while done < total:
+                now = time.monotonic()
+                # Assign ready tasks to idle workers.
+                for slot in slots:
+                    if not slot.idle or not pending:
+                        continue
+                    ready = [t for t in pending if t.not_before <= now]
+                    if not ready:
+                        continue
+                    task = min(ready, key=lambda t: t.index)
+                    pending.remove(task)
+                    slot.assign(task, self.timeout_s)
+                    events({"type": "start", "index": task.index,
+                            "attempt": task.attempts + 1, "worker": slot.id})
+
+                busy = [s for s in slots if not s.idle]
+                if not busy:
+                    if pending:
+                        sleep_until = min(t.not_before for t in pending)
+                        time.sleep(max(0.0, min(sleep_until - now, 0.5)))
+                        continue
+                    break  # nothing running, nothing pending
+
+                next_deadline = min(s.deadline for s in busy)
+                wait_s = max(0.0, min(next_deadline - now, 0.25))
+                readable = conn_wait(
+                    [s.conn for s in busy] + [s.proc.sentinel for s in busy],
+                    timeout=wait_s)
+                ready_set = set(readable)
+                now = time.monotonic()
+
+                for i, slot in enumerate(slots):
+                    if slot.idle:
+                        continue
+                    if slot.conn in ready_set:
+                        try:
+                            kind, _idx, payload, elapsed = slot.conn.recv()
+                        except (EOFError, OSError):
+                            # Died between send and our read: treat as crash.
+                            task = slot.task
+                            self._replace(slots, i, ctx, chaos_crash,
+                                          chaos_timeout)
+                            self._requeue_or_fail(
+                                task, "worker crashed mid-cell", pending,
+                                outcomes, events)
+                            if outcomes[task.index].status == "failed":
+                                done += 1
+                            continue
+                        finish(slot, kind, payload, elapsed)
+                    elif slot.proc.sentinel in ready_set and not slot.proc.is_alive():
+                        task = slot.task
+                        exitcode = slot.proc.exitcode
+                        self._replace(slots, i, ctx, chaos_crash,
+                                      chaos_timeout)
+                        self._requeue_or_fail(
+                            task, f"worker crashed (exit {exitcode})",
+                            pending, outcomes, events)
+                        if outcomes[task.index].status == "failed":
+                            done += 1
+                    elif now > slot.deadline:
+                        task = slot.task
+                        self._replace(slots, i, ctx, chaos_crash,
+                                      chaos_timeout)
+                        self._requeue_or_fail(
+                            task,
+                            f"cell timeout after {self.timeout_s:.1f}s",
+                            pending, outcomes, events)
+                        if outcomes[task.index].status == "failed":
+                            done += 1
+        finally:
+            wall = max(time.monotonic() - t_start, 1e-9)
+            busy_total = self._retired_busy_s + sum(s.busy_s for s in slots)
+            self.utilization = min(1.0, busy_total / (wall * n_workers))
+            for slot in slots:
+                slot.shutdown()
+
+        return [outcomes[t.index] for t in tasks]

@@ -1,0 +1,111 @@
+"""Round-trip tests for :mod:`repro.core.flushio`.
+
+write_local_profile / write_root_profiles → read_profile must return
+the exact matrices that were written, and the ``#`` header metadata
+(kind, rank, comm_size, flags) must survive the trip.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import flushio
+from repro.core.constants import Flags
+
+
+def _local_vectors(n, seed=0):
+    rng = np.random.default_rng(seed)
+    counts = rng.integers(0, 1000, size=n).astype(np.uint64)
+    sizes = counts * rng.integers(1, 4096, size=n).astype(np.uint64)
+    return counts, sizes
+
+
+class TestLocalRoundTrip:
+    def test_matrix_equality(self, tmp_path):
+        counts, sizes = _local_vectors(6)
+        base = str(tmp_path / "prof")
+        path = flushio.write_local_profile(base, 3, counts, sizes,
+                                           Flags.ALL_COMM)
+        assert path == str(tmp_path / "prof.3.prof")
+
+        prof = flushio.read_profile(path)
+        assert prof["kind"] == "local"
+        data = prof["data"]
+        assert data.shape == (6, 4)
+        assert (data[:, 0] == 3).all()  # src column is the writer's rank
+        np.testing.assert_array_equal(data[:, 1], np.arange(6))
+        np.testing.assert_array_equal(data[:, 2], counts)
+        np.testing.assert_array_equal(data[:, 3], sizes)
+
+    def test_header_metadata(self, tmp_path):
+        counts, sizes = _local_vectors(4)
+        path = flushio.write_local_profile(str(tmp_path / "m"), 2, counts,
+                                           sizes, Flags.P2P_ONLY)
+        meta = flushio.read_profile(path)["meta"]
+        assert meta["rank"] == 2
+        assert meta["comm_size"] == 4
+        assert meta["flags"] == "P2P_ONLY"
+        assert isinstance(meta["rank"], int)
+        assert isinstance(meta["comm_size"], int)
+
+    def test_loads_with_numpy_loadtxt(self, tmp_path):
+        counts, sizes = _local_vectors(5)
+        path = flushio.write_local_profile(str(tmp_path / "t"), 0, counts,
+                                           sizes, Flags.ALL_COMM)
+        table = np.loadtxt(path, dtype=np.uint64)
+        np.testing.assert_array_equal(
+            table, flushio.read_profile(path)["data"])
+
+
+class TestRootRoundTrip:
+    def test_matrix_equality(self, tmp_path):
+        n = 5
+        rng = np.random.default_rng(7)
+        counts = rng.integers(0, 100, size=(n, n)).astype(np.uint64)
+        sizes = counts * 64
+        cpath, spath = flushio.write_root_profiles(
+            str(tmp_path / "root"), 0, counts, sizes, Flags.ALL_COMM)
+        assert cpath == str(tmp_path / "root_counts.0.prof")
+        assert spath == str(tmp_path / "root_sizes.0.prof")
+
+        cprof = flushio.read_profile(cpath)
+        sprof = flushio.read_profile(spath)
+        assert cprof["kind"] == "root-counts"
+        assert sprof["kind"] == "root-sizes"
+        np.testing.assert_array_equal(cprof["data"], counts)
+        np.testing.assert_array_equal(sprof["data"], sizes)
+
+    def test_header_metadata(self, tmp_path):
+        n = 3
+        zeros = np.zeros((n, n), dtype=np.uint64)
+        cpath, _ = flushio.write_root_profiles(
+            str(tmp_path / "h"), 4, zeros, zeros,
+            Flags.P2P_ONLY | Flags.COLL_ONLY)
+        meta = flushio.read_profile(cpath)["meta"]
+        assert meta["comm_size"] == n
+        assert meta["flags"] == "P2P_ONLY|COLL_ONLY"
+        assert "rank" not in meta  # root files carry no per-rank field
+
+    def test_flat_matrix_input(self, tmp_path):
+        # write_root_profiles reshapes (n*n,) input to (n, n).
+        n = 4
+        counts = np.arange(n * n, dtype=np.uint64)
+        cpath, _ = flushio.write_root_profiles(
+            str(tmp_path / "f"), 0, counts.reshape(n, n), counts,
+            Flags.ALL_COMM)
+        np.testing.assert_array_equal(
+            flushio.read_profile(cpath)["data"], counts.reshape(n, n))
+
+
+class TestErrors:
+    def test_missing_directory(self, tmp_path):
+        counts, sizes = _local_vectors(2)
+        with pytest.raises(FileNotFoundError, match="has to exist"):
+            flushio.write_local_profile(
+                str(tmp_path / "nope" / "x"), 0, counts, sizes,
+                Flags.ALL_COMM)
+
+    def test_not_a_profile(self, tmp_path):
+        p = tmp_path / "plain.txt"
+        p.write_text("1 2 3 4\n")
+        with pytest.raises(ValueError, match="not an MPI_Monitoring"):
+            flushio.read_profile(str(p))

@@ -1,0 +1,116 @@
+"""The supervised worker pool: correctness, retries, chaos recovery.
+
+All tests drive the hidden ``selftest`` scenario — trivial cells that
+square an integer, optionally failing or sleeping on demand — so the
+executor's failure machinery is exercised without simulator cost.
+"""
+
+import pytest
+
+from repro.sweep.executor import CellOutcome, CellTask, SweepExecutor, parse_chaos
+
+
+def _tasks(params_list):
+    return [CellTask(index=i, scenario="selftest", params=p)
+            for i, p in enumerate(params_list)]
+
+
+class TestParseChaos:
+    def test_empty(self):
+        assert parse_chaos(None) == {}
+        assert parse_chaos("") == {}
+
+    def test_both_kinds(self):
+        assert parse_chaos("crash=2,timeout=1") == {"crash": 2, "timeout": 1}
+
+    def test_default_count(self):
+        assert parse_chaos("crash") == {"crash": 1}
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown chaos kind"):
+            parse_chaos("oom=1")
+
+
+class TestHappyPath:
+    def test_results_in_task_order(self):
+        ex = SweepExecutor(jobs=2, chaos={})
+        outcomes = ex.run(_tasks([{"x": i} for i in range(6)]))
+        assert [o.index for o in outcomes] == list(range(6))
+        assert all(o.status == "ok" for o in outcomes)
+        assert [o.result["y"] for o in outcomes] == [i * i for i in range(6)]
+        assert all(o.attempts == 1 for o in outcomes)
+        assert ex.workers_replaced == 0
+        assert 0.0 < ex.utilization <= 1.0
+
+    def test_more_jobs_than_tasks(self):
+        ex = SweepExecutor(jobs=8, chaos={})
+        outcomes = ex.run(_tasks([{"x": 3}]))
+        assert outcomes[0].result == {"x": 3, "y": 9}
+        assert ex.workers_spawned == 1  # pool is clamped to the task count
+
+    def test_empty_task_list(self):
+        assert SweepExecutor(jobs=2, chaos={}).run([]) == []
+
+
+class TestFailures:
+    def test_cell_error_exhausts_retries(self):
+        ex = SweepExecutor(jobs=1, retries=2, backoff_s=0.01, chaos={})
+        outcomes = ex.run(_tasks([{"x": 1, "fail": True}, {"x": 2}]))
+        bad, good = outcomes
+        assert bad.status == "failed"
+        assert bad.attempts == 3  # initial + 2 retries
+        assert "injected failure" in bad.error
+        assert len(bad.retry_log) == 2
+        assert good.status == "ok"  # unaffected neighbour
+
+    def test_zero_retries_fails_fast(self):
+        ex = SweepExecutor(jobs=1, retries=0, backoff_s=0.01, chaos={})
+        (out,) = ex.run(_tasks([{"x": 1, "fail": True}]))
+        assert out.status == "failed"
+        assert out.attempts == 1
+
+    def test_timeout_kills_and_fails(self):
+        ex = SweepExecutor(jobs=1, timeout_s=0.3, retries=0,
+                           backoff_s=0.01, chaos={})
+        (out,) = ex.run(_tasks([{"x": 1, "delay": 30.0}]))
+        assert out.status == "failed"
+        assert "timeout" in out.error
+        assert ex.workers_replaced == 1
+
+
+class TestChaos:
+    def test_injected_crash_is_invisible_in_results(self):
+        ex = SweepExecutor(jobs=2, retries=2, backoff_s=0.01,
+                           chaos={"crash": 1})
+        outcomes = ex.run(_tasks([{"x": i} for i in range(4)]))
+        assert all(o.status == "ok" for o in outcomes)
+        assert [o.result["y"] for o in outcomes] == [0, 1, 4, 9]
+        assert ex.workers_replaced == 1
+        assert sum(o.attempts - 1 for o in outcomes) == 1  # one retry total
+        crashed = [o for o in outcomes if o.attempts == 2]
+        assert "crashed" in crashed[0].retry_log[0]
+
+    def test_injected_timeout_is_invisible_in_results(self):
+        # The stalled worker blows the 1 s deadline, is killed, and the
+        # cell succeeds on the retry.
+        ex = SweepExecutor(jobs=2, timeout_s=1.0, retries=2,
+                           backoff_s=0.01, chaos={"timeout": 1})
+        outcomes = ex.run(_tasks([{"x": i} for i in range(4)]))
+        assert all(o.status == "ok" for o in outcomes)
+        assert ex.workers_replaced == 1
+        timed_out = [o for o in outcomes if o.retry_log]
+        assert len(timed_out) == 1
+        assert "timeout" in timed_out[0].retry_log[0]
+
+    def test_chaos_env_parsing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_CHAOS", "crash=3")
+        assert SweepExecutor(jobs=1).chaos == {"crash": 3}
+        monkeypatch.delenv("REPRO_SWEEP_CHAOS")
+        assert SweepExecutor(jobs=1).chaos == {}
+
+
+class TestOutcomeShape:
+    def test_dataclass_defaults(self):
+        out = CellOutcome(index=0, scenario="selftest", params={}, status="ok")
+        assert out.retry_log == []
+        assert out.attempts == 1

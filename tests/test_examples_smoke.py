@@ -1,0 +1,59 @@
+"""Smoke-run every example end to end — they must stay runnable.
+
+Replaces the old ``test_examples.py``: same per-example assertions,
+plus coverage for ``network_prediction.py`` and a completeness check
+that no example on disk is missing from this file.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+# Every example and the load-bearing output lines it must print.
+CASES = {
+    "quickstart.py": ("total messages: 64",),
+    "session_tour.py": ("one-sided traffic only shows under MPI_M_OSC_ONLY",),
+    "collective_anatomy.py": ("bcast (binomial)", "barrier (dissemination)"),
+    "network_prediction.py": (
+        "moving-average prediction for the next window",
+        "under-utilized windows",
+    ),
+    "reorder_stencil.py": ("speedup",),
+    "cg_reordering.py": ("zeta identical",),
+}
+SLOW = {"reorder_stencil.py", "cg_reordering.py"}
+
+
+def run_example(name: str, timeout: float = 240.0) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_every_example_is_covered():
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == set(CASES), (
+        f"examples/ and CASES disagree: {on_disk ^ set(CASES)}"
+    )
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        pytest.param(n, marks=[pytest.mark.slow] if n in SLOW else [])
+        for n in sorted(CASES)
+    ],
+)
+def test_example_runs(name):
+    out = run_example(name)
+    for needle in CASES[name]:
+        assert needle in out, f"{name}: missing {needle!r}"
