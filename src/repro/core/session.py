@@ -24,6 +24,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.core.constants import MAX_SESSIONS, flags_to_categories
+from repro.obs import registry as _obs_registry
 from repro.core.errors import (
     InvalidMsid,
     MissingInit,
@@ -76,6 +77,8 @@ class Session:
         # suspend/resume skip categories that have not changed.
         self._snap_epochs: Dict[str, Optional[int]] = {}
         self._take_snapshot()
+        _obs_registry().counter("repro_session_events_total",
+                                event="create").inc()
 
     # -- state transitions --------------------------------------------------
 
@@ -94,12 +97,16 @@ class Session:
             self._acc_counts[cat] += counts - self._snap_counts[cat]
             self._acc_sizes[cat] += sizes - self._snap_sizes[cat]
         self.state = Session.SUSPENDED
+        _obs_registry().counter("repro_session_events_total",
+                                event="suspend").inc()
 
     def resume(self) -> None:
         if self.state != Session.SUSPENDED:
             raise MultipleCall(f"continue on a {self.state} session")
         self._take_snapshot()
         self.state = Session.ACTIVE
+        _obs_registry().counter("repro_session_events_total",
+                                event="resume").inc()
 
     def reset(self) -> None:
         if self.state != Session.SUSPENDED:
@@ -107,11 +114,15 @@ class Session:
         for cat in CATEGORIES:
             self._acc_counts[cat][:] = 0
             self._acc_sizes[cat][:] = 0
+        _obs_registry().counter("repro_session_events_total",
+                                event="reset").inc()
 
     def free(self) -> None:
         if self.state != Session.SUSPENDED:
             raise SessionNotSuspended("free requires a suspended session")
         self.state = Session.FREED
+        _obs_registry().counter("repro_session_events_total",
+                                event="free").inc()
 
     def _take_snapshot(self) -> None:
         for cat in CATEGORIES:
@@ -182,6 +193,8 @@ class MonitoringRuntime:
             raise MultipleCall("MPI_M_init called twice without finalize")
         rt = MonitoringRuntime(proc)
         proc.userdata[_RUNTIME_KEY] = rt
+        _obs_registry().counter("repro_session_events_total",
+                                event="runtime_install").inc()
         return rt
 
     @staticmethod
@@ -206,6 +219,8 @@ class MonitoringRuntime:
         self._pvar_session.free()
         self.engine.mpit.finalize()
         del self.proc.userdata[_RUNTIME_KEY]
+        _obs_registry().counter("repro_session_events_total",
+                                event="runtime_finalize").inc()
 
     # -- session management --------------------------------------------------
 

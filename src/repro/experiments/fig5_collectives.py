@@ -80,16 +80,24 @@ def run_cell(
     sizes: Optional[Sequence[int]] = None,
     reps: int = 3,
     seed: int = 0,
+    engine: Optional[Engine] = None,
 ) -> List[CollectivePoint]:
     """One Fig. 5 cell: a single (op, node count) engine run covering
     the whole buffer-size sweep.  The monitoring + reordering step is
     shared by every size, so this is the smallest independently
     computable unit of the figure — a pure function of its parameters,
-    usable as a sweep cell."""
+    usable as a sweep cell.
+
+    ``engine`` lets a caller supply a pre-built (e.g. instrumented)
+    Engine for ``n_nodes`` PlaFRIM nodes; by default the cell builds
+    its own."""
     if sizes is None:
         sizes = FULL_SIZES if full_scale() else DEFAULT_SIZES
-    cluster = Cluster.plafrim(n_nodes, binding="rr")
-    engine = Engine(cluster, seed=seed)
+    if engine is None:
+        cluster = Cluster.plafrim(n_nodes, binding="rr")
+        engine = Engine(cluster, seed=seed)
+    else:
+        cluster = engine.cluster
 
     def program(comm):
         out = []

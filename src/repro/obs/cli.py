@@ -1,0 +1,194 @@
+"""``python -m repro.obs`` — observe a simulated run.
+
+Subcommands:
+
+* ``export`` — run one Fig. 5 cell with the observability layer
+  enabled and write the Perfetto-loadable Chrome trace (plus,
+  optionally, the metrics snapshot and the raw message trace);
+* ``top`` — hottest rank pairs (and, with a metrics snapshot, link
+  classes) from a dumped message trace;
+* ``heatmap`` — terminal comm-matrix render (reuses
+  :func:`repro.core.viz.render_heatmap`);
+* ``validate`` — structural check of an exported trace file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import List, Optional
+
+from repro import obs
+from repro.obs.export import (chrome_trace, validate_chrome_trace,
+                              write_chrome_trace)
+
+_DEFAULT_SIZES = "1_000_000,2_000_000"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    from repro.experiments.common import parse_sizes
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    exp = sub.add_parser(
+        "export", help="run a fig5 cell instrumented; write a Perfetto trace")
+    exp.add_argument("--op", choices=["reduce", "bcast"], default="reduce")
+    exp.add_argument("--nodes", type=int, default=2,
+                     help="PlaFRIM node count (24 ranks per node)")
+    exp.add_argument("--sizes", type=parse_sizes, default=None,
+                     metavar="N,N,...",
+                     help=f"buffer sizes in ints (default {_DEFAULT_SIZES})")
+    exp.add_argument("--reps", type=int, default=1)
+    exp.add_argument("--seed", type=int, default=0)
+    exp.add_argument("--out", default="obs-trace.json",
+                     help="Chrome trace output path")
+    exp.add_argument("--metrics", default=None, metavar="PATH",
+                     help="also write the metrics snapshot as JSON")
+    exp.add_argument("--messages", default=None, metavar="PATH",
+                     help="also dump the raw message trace")
+
+    top = sub.add_parser("top", help="hottest rank pairs of a message trace")
+    top.add_argument("--messages", required=True,
+                     help="message trace from `export --messages`")
+    top.add_argument("-k", type=int, default=10, help="pairs to show")
+    top.add_argument("--category", choices=["p2p", "coll", "osc"],
+                     default=None)
+    top.add_argument("--metrics", default=None, metavar="PATH",
+                     help="metrics snapshot: adds a per-link-class section")
+
+    hm = sub.add_parser("heatmap", help="terminal comm-matrix heatmap")
+    hm.add_argument("--messages", required=True)
+    hm.add_argument("--category", choices=["p2p", "coll", "osc"],
+                    default=None)
+
+    val = sub.add_parser("validate", help="check an exported trace file")
+    val.add_argument("path")
+    val.add_argument("--ranks", type=int, default=None,
+                     help="require one named lane per rank")
+    return parser
+
+
+def _cmd_export(args) -> int:
+    from repro.experiments.common import parse_sizes
+    from repro.experiments.fig5_collectives import run_cell
+    from repro.simmpi import Cluster, Engine
+    from repro.simmpi.trace import MessageTracer
+
+    sizes = args.sizes if args.sizes is not None else parse_sizes(
+        _DEFAULT_SIZES)
+    registry, spans = obs.enable()
+    try:
+        cluster = Cluster.plafrim(args.nodes, binding="rr")
+        engine = Engine(cluster, seed=args.seed)
+        tracer = MessageTracer.install(engine) if args.messages else None
+        with spans.wall_span("fig5.run_cell",
+                             {"op": args.op, "nodes": args.nodes}):
+            points = run_cell(args.op, args.nodes, sizes=sizes,
+                              reps=args.reps, seed=args.seed, engine=engine)
+        doc = chrome_trace(
+            spans, n_ranks=engine.n_ranks,
+            meta={"op": args.op, "nodes": args.nodes,
+                  "sizes": list(sizes), "seed": args.seed})
+        errors = validate_chrome_trace(doc, n_ranks=engine.n_ranks)
+        if errors:  # pragma: no cover - exporter bug guard
+            for e in errors:
+                print(f"error: {e}")
+            return 1
+        write_chrome_trace(args.out, doc)
+        n_spans = len(spans)
+        print(f"{args.out}: {n_spans} spans over {engine.n_ranks} ranks "
+              f"(virtual makespan {engine.max_clock:.3f}s, "
+              f"{engine.messages} messages)")
+        if args.metrics:
+            with open(args.metrics, "w", encoding="utf-8") as fh:
+                json.dump(registry.snapshot(), fh, indent=1, sort_keys=True)
+                fh.write("\n")
+            print(f"{args.metrics}: metrics snapshot")
+        if tracer is not None:
+            tracer.dump(args.messages)
+            print(f"{args.messages}: {len(tracer)} trace events")
+        for p in points:
+            print(f"  {p.op} np={p.np_ranks} ints={p.n_ints}: "
+                  f"{p.t_baseline:.4f}s -> {p.t_reordered:.4f}s "
+                  f"({p.speedup:.2f}x)")
+        return 0
+    finally:
+        obs.disable()
+
+
+def _cmd_top(args) -> int:
+    import numpy as np
+
+    from repro.simmpi.trace import MessageTracer
+
+    tracer = MessageTracer.load(args.messages)
+    sizes = tracer.size_matrix(category=args.category)
+    counts = tracer.count_matrix(category=args.category)
+    flat = sizes.ravel()
+    order = np.argsort(flat)[::-1][: args.k]
+    n = tracer.world_size
+    cat = args.category or "all"
+    print(f"top {args.k} rank pairs by bytes ({cat}, {len(tracer)} events):")
+    print(f"{'src':>5} {'dst':>5} {'bytes':>14} {'msgs':>8}")
+    for idx in order:
+        if flat[idx] == 0:
+            break
+        src, dst = divmod(int(idx), n)
+        print(f"{src:>5} {dst:>5} {int(flat[idx]):>14,} "
+              f"{int(counts[src, dst]):>8,}")
+    if args.metrics:
+        with open(args.metrics, "r", encoding="utf-8") as fh:
+            snap = json.load(fh)
+        links = {
+            k: v for k, v in snap.get("counters", {}).items()
+            if k.startswith("repro_net_link_bytes_total")
+        }
+        if links:
+            print("per-link-class bytes:")
+            for key, val in sorted(links.items(), key=lambda kv: -kv[1]):
+                cls = key.split("link=")[-1].rstrip("}")
+                print(f"  {cls:>10} {int(val):>14,}")
+    return 0
+
+
+def _cmd_heatmap(args) -> int:
+    from repro.core.viz import render_heatmap
+    from repro.simmpi.trace import MessageTracer
+
+    tracer = MessageTracer.load(args.messages)
+    cat = args.category or "all"
+    print(f"byte heatmap ({cat}, {tracer.world_size} ranks):")
+    print(render_heatmap(tracer.size_matrix(category=args.category),
+                         max_size=tracer.world_size))
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    with open(args.path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    errors = validate_chrome_trace(doc, n_ranks=args.ranks)
+    if errors:
+        for e in errors:
+            print(f"error: {e}")
+        return 1
+    n_events = sum(1 for ev in doc["traceEvents"] if ev.get("ph") == "X")
+    print(f"{args.path}: valid ({n_events} spans)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "export":
+        return _cmd_export(args)
+    if args.command == "top":
+        return _cmd_top(args)
+    if args.command == "heatmap":
+        return _cmd_heatmap(args)
+    return _cmd_validate(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

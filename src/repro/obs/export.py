@@ -1,0 +1,144 @@
+"""Chrome trace-event export (the JSON Perfetto and chrome://tracing load).
+
+Mapping:
+
+* ``pid`` 1 — *simmpi virtual time*: one thread lane per world rank
+  (``tid`` = rank), timestamps are virtual seconds converted to the
+  format's microseconds;
+* ``pid`` 2 — *simulator wall clock*: the recorder's self-profile lane
+  (``tid`` 0), so host-side cost is visually separable from simulated
+  time in the same trace;
+* spans are complete events (``ph: "X"`` with ``ts``/``dur``), lanes
+  are named via ``ph: "M"`` metadata events, exactly as the trace-event
+  format specifies.
+
+:func:`validate_chrome_trace` checks the structural contract the
+acceptance criteria (and the CI ``obs-smoke`` job) rely on; it returns
+a list of human-readable problems, empty when the document is valid.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.obs.spans import WALL_LANE, SpanRecorder
+
+__all__ = [
+    "VIRTUAL_PID", "WALL_PID", "WALL_TID",
+    "chrome_trace", "validate_chrome_trace", "write_chrome_trace",
+]
+
+VIRTUAL_PID = 1
+WALL_PID = 2
+WALL_TID = 0
+
+_S_TO_US = 1e6
+
+
+def _meta(name: str, pid: int, tid: int, value: str) -> Dict[str, Any]:
+    return {"name": name, "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": value}}
+
+
+def chrome_trace(recorder: SpanRecorder, n_ranks: Optional[int] = None,
+                 meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Build the trace document from a recorder's finished spans.
+
+    ``n_ranks`` forces a named lane per world rank even for ranks that
+    never opened a span (so the Perfetto view always shows the full
+    world); extra integer lanes seen in the data are named too.
+    """
+    rank_lanes = set(range(n_ranks)) if n_ranks else set()
+    for lane in recorder.lanes():
+        if isinstance(lane, int):
+            rank_lanes.add(lane)
+
+    events: List[Dict[str, Any]] = [
+        _meta("process_name", VIRTUAL_PID, 0, "simmpi virtual time"),
+        _meta("process_name", WALL_PID, WALL_TID,
+              "simulator wall clock (self-profile)"),
+        _meta("thread_name", WALL_PID, WALL_TID, "wall"),
+    ]
+    for rank in sorted(rank_lanes):
+        events.append(_meta("thread_name", VIRTUAL_PID, rank, f"rank {rank}"))
+        events.append({"name": "thread_sort_index", "ph": "M",
+                       "pid": VIRTUAL_PID, "tid": rank,
+                       "args": {"sort_index": rank}})
+
+    for lane, name, t0, t1, depth, args in recorder.finished:
+        if lane == WALL_LANE:
+            pid, tid, cat = WALL_PID, WALL_TID, "wall"
+        else:
+            pid, tid, cat = VIRTUAL_PID, int(lane), "virtual"
+        ev: Dict[str, Any] = {
+            "name": name, "cat": cat, "ph": "X",
+            "ts": t0 * _S_TO_US, "dur": (t1 - t0) * _S_TO_US,
+            "pid": pid, "tid": tid,
+        }
+        if args:
+            ev["args"] = dict(args)
+        events.append(ev)
+
+    doc: Dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    }
+    if meta:
+        doc["otherData"] = dict(meta)
+    return doc
+
+
+def validate_chrome_trace(doc: Any,
+                          n_ranks: Optional[int] = None) -> List[str]:
+    """Structural validation; returns problems (empty list == valid).
+
+    With ``n_ranks``, additionally requires one named virtual-time lane
+    per world rank plus the wall-clock self-profile lane.
+    """
+    errors: List[str] = []
+    if not isinstance(doc, dict) or not isinstance(
+            doc.get("traceEvents"), list):
+        return ["document must be an object with a 'traceEvents' list"]
+    named_lanes = set()
+    wall_lane_named = False
+    for i, ev in enumerate(doc["traceEvents"]):
+        if not isinstance(ev, dict):
+            errors.append(f"event #{i}: not an object")
+            continue
+        ph = ev.get("ph")
+        if not isinstance(ph, str) or not ph:
+            errors.append(f"event #{i}: missing 'ph'")
+            continue
+        if not isinstance(ev.get("pid"), int) or \
+                not isinstance(ev.get("tid"), int):
+            errors.append(f"event #{i}: 'pid'/'tid' must be integers")
+            continue
+        if ph == "M":
+            if ev.get("name") == "thread_name":
+                if ev["pid"] == VIRTUAL_PID:
+                    named_lanes.add(ev["tid"])
+                elif ev["pid"] == WALL_PID:
+                    wall_lane_named = True
+            continue
+        if ph == "X":
+            if not isinstance(ev.get("name"), str):
+                errors.append(f"event #{i}: 'X' event without a name")
+            ts, dur = ev.get("ts"), ev.get("dur")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                errors.append(f"event #{i}: bad 'ts' {ts!r}")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"event #{i}: bad 'dur' {dur!r}")
+    if n_ranks is not None:
+        missing = sorted(set(range(n_ranks)) - named_lanes)
+        if missing:
+            errors.append(f"missing virtual-time lanes for ranks {missing}")
+        if not wall_lane_named:
+            errors.append("missing the wall-clock self-profile lane")
+    return errors
+
+
+def write_chrome_trace(path: str, doc: Dict[str, Any]) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")

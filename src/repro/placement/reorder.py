@@ -29,6 +29,7 @@ import numpy as np
 from repro.core import api as mapi
 from repro.core.constants import Flags, MPI_M_DATA_IGNORE
 from repro.core.errors import raise_for_code
+from repro.obs.spans import virtual_span
 from repro.placement.mapping import invert_permutation, reorder_permutation
 from repro.placement.treematch import treematch
 
@@ -78,17 +79,22 @@ def reorder_from_matrix(
     matrix).  Returns ``(opt_comm, k)`` on every rank.
     """
     me = comm.rank
-    if me == 0:
-        if size_mat is None:
-            raise ValueError("rank 0 must supply the gathered size matrix")
-        k = compute_mapping(size_mat, comm.engine.cluster, comm.group)
-        if charge_mapping_time:
-            comm.compute(treematch_model_seconds(comm.size))
-        k = np.asarray(k, dtype=np.int32)
-    else:
-        k = None
-    k = comm.bcast(k, root=0)
-    opt_comm = comm.split(0, int(k[me]))
+    rec = comm.engine._obs_spans
+    proc = comm._current() if rec is not None else None
+    with virtual_span(rec, proc, "reorder.from_matrix"):
+        if me == 0:
+            if size_mat is None:
+                raise ValueError("rank 0 must supply the gathered size matrix")
+            with virtual_span(rec, proc, "treematch.compute_mapping",
+                              {"n": comm.size}):
+                k = compute_mapping(size_mat, comm.engine.cluster, comm.group)
+                if charge_mapping_time:
+                    comm.compute(treematch_model_seconds(comm.size))
+            k = np.asarray(k, dtype=np.int32)
+        else:
+            k = None
+        k = comm.bcast(k, root=0)
+        opt_comm = comm.split(0, int(k[me]))
     return opt_comm, k
 
 
@@ -134,9 +140,13 @@ def reorder_iterative(
     """
     if manage_env:
         raise_for_code(mapi.mpi_m_init())
+    rec = comm.engine._obs_spans
+    proc = comm._current() if rec is not None else None
     err, msid = mapi.mpi_m_start(comm)
     raise_for_code(err)
-    compute_iteration(1, comm)
+    with virtual_span(rec, proc, "reorder.monitored_iteration",
+                      {"iteration": 1}):
+        compute_iteration(1, comm)
     raise_for_code(mapi.mpi_m_suspend(msid))
     err, _, size_mat = mapi.mpi_m_rootgather_data(
         msid, 0, MPI_M_DATA_IGNORE, None, flags
@@ -146,9 +156,11 @@ def reorder_iterative(
 
     opt_comm, k = reorder_from_matrix(comm, size_mat,
                                       charge_mapping_time=charge_mapping_time)
-    redistribute_data(comm, k, payload=payload, nbytes=redistribute_nbytes)
+    with virtual_span(rec, proc, "reorder.redistribute"):
+        redistribute_data(comm, k, payload=payload, nbytes=redistribute_nbytes)
     for it in range(2, max_it + 1):
-        compute_iteration(it, opt_comm)
+        with virtual_span(rec, proc, f"iteration[{it}]"):
+            compute_iteration(it, opt_comm)
     if manage_env:
         raise_for_code(mapi.mpi_m_finalize())
     return opt_comm, k

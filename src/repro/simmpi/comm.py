@@ -379,73 +379,107 @@ class Communicator:
 
     # -- collectives (implemented over _isend/_irecv) -------------------------
 
+    def _spanned(self, opname, _alg, fn, *args, **kwargs):
+        """Run one collective, tracing it as a virtual-time span.
+
+        Observation-only: the span recorder reads the caller's raw
+        clock before and after — it never settles deferred sends or
+        touches the scheduler, so the engine's call sequence is
+        identical with tracing off (``engine._obs_spans is None``, the
+        common case, costs one attribute read per collective call).
+        """
+        rec = self.engine._obs_spans
+        if rec is None:
+            return fn(*args, **kwargs)
+        try:
+            proc = _tls.proc
+        except AttributeError:
+            raise SimError("not inside a simulated MPI process") from None
+        name = opname if _alg is None else f"{opname}[{_alg}]"
+        rec.begin(proc.rank, name, proc.clock)
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            rec.end(proc.rank, proc.clock)
+
     def barrier(self, algorithm: Optional[str] = None) -> None:
         from repro.simmpi.collectives.barrier import barrier
 
-        barrier(self, algorithm=algorithm)
+        self._spanned("barrier", algorithm, barrier, self,
+                      algorithm=algorithm)
 
     def bcast(self, value: Any = None, root: int = 0, nbytes: Optional[int] = None,
               algorithm: Optional[str] = None,
               segments: Optional[int] = None) -> Any:
         from repro.simmpi.collectives.bcast import bcast
 
-        return bcast(self, value, root=root, nbytes=nbytes,
-                     algorithm=algorithm, segments=segments)
+        return self._spanned("bcast", algorithm, bcast, self, value,
+                             root=root, nbytes=nbytes,
+                             algorithm=algorithm, segments=segments)
 
     def reduce(self, value: Any, op: Op, root: int = 0,
                nbytes: Optional[int] = None, algorithm: Optional[str] = None,
                segments: Optional[int] = None) -> Any:
         from repro.simmpi.collectives.reduce import reduce as _reduce
 
-        return _reduce(self, value, op, root=root, nbytes=nbytes,
-                       algorithm=algorithm, segments=segments)
+        return self._spanned("reduce", algorithm, _reduce, self, value, op,
+                             root=root, nbytes=nbytes,
+                             algorithm=algorithm, segments=segments)
 
     def allreduce(self, value: Any, op: Op, nbytes: Optional[int] = None,
                   algorithm: Optional[str] = None) -> Any:
         from repro.simmpi.collectives.allreduce import allreduce
 
-        return allreduce(self, value, op, nbytes=nbytes, algorithm=algorithm)
+        return self._spanned("allreduce", algorithm, allreduce, self,
+                             value, op, nbytes=nbytes, algorithm=algorithm)
 
     def gather(self, value: Any, root: int = 0, nbytes: Optional[int] = None,
                algorithm: Optional[str] = None) -> Optional[List[Any]]:
         from repro.simmpi.collectives.gather import gather
 
-        return gather(self, value, root=root, nbytes=nbytes, algorithm=algorithm)
+        return self._spanned("gather", algorithm, gather, self, value,
+                             root=root, nbytes=nbytes, algorithm=algorithm)
 
     def scatter(self, values: Optional[Sequence[Any]] = None, root: int = 0,
                 nbytes: Optional[int] = None,
                 algorithm: Optional[str] = None) -> Any:
         from repro.simmpi.collectives.scatter import scatter
 
-        return scatter(self, values, root=root, nbytes=nbytes, algorithm=algorithm)
+        return self._spanned("scatter", algorithm, scatter, self, values,
+                             root=root, nbytes=nbytes, algorithm=algorithm)
 
     def allgather(self, value: Any, nbytes: Optional[int] = None,
                   algorithm: Optional[str] = None) -> List[Any]:
         from repro.simmpi.collectives.allgather import allgather
 
-        return allgather(self, value, nbytes=nbytes, algorithm=algorithm)
+        return self._spanned("allgather", algorithm, allgather, self,
+                             value, nbytes=nbytes, algorithm=algorithm)
 
     def alltoall(self, values: Sequence[Any], nbytes: Optional[int] = None,
                  algorithm: Optional[str] = None) -> List[Any]:
         from repro.simmpi.collectives.alltoall import alltoall
 
-        return alltoall(self, values, nbytes=nbytes, algorithm=algorithm)
+        return self._spanned("alltoall", algorithm, alltoall, self,
+                             values, nbytes=nbytes, algorithm=algorithm)
 
     def scan(self, value: Any, op: Op, nbytes: Optional[int] = None) -> Any:
         from repro.simmpi.collectives.scan import scan
 
-        return scan(self, value, op, nbytes=nbytes)
+        return self._spanned("scan", None, scan, self, value, op,
+                             nbytes=nbytes)
 
     def exscan(self, value: Any, op: Op, nbytes: Optional[int] = None) -> Any:
         from repro.simmpi.collectives.scan import exscan
 
-        return exscan(self, value, op, nbytes=nbytes)
+        return self._spanned("exscan", None, exscan, self, value, op,
+                             nbytes=nbytes)
 
     def reduce_scatter(self, values: Sequence[Any], op: Op,
                        nbytes: Optional[int] = None) -> Any:
         from repro.simmpi.collectives.scan import reduce_scatter
 
-        return reduce_scatter(self, list(values), op, nbytes=nbytes)
+        return self._spanned("reduce_scatter", None, reduce_scatter, self,
+                             list(values), op, nbytes=nbytes)
 
     # -- one-sided --------------------------------------------------------
 

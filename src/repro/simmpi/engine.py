@@ -70,6 +70,7 @@ import threading
 from enum import Enum
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs as _obs
 from repro.simmpi.cluster import Cluster
 from repro.simmpi.errorsim import Aborted, DeadlockError, RankFailure, SimError
 from repro.simmpi.match import ANY_SOURCE, ANY_TAG, Message
@@ -260,6 +261,24 @@ class Engine:
         self._pending_heap: List = []
         self._qseq = 0
         self._n_done = 0
+        # Elided handoffs (self-handoffs and evaporated phantoms):
+        # plain ints bumped on branches that are rare by construction,
+        # published by the observer — and useful diagnostics even
+        # without it.
+        self._self_handoffs = 0
+        self._phantom_elisions = 0
+        # Observability: None unless the obs layer was enabled when
+        # this engine was built; every hot-path consultation is a
+        # single ``is not None`` check on a per-wait (not per-message)
+        # path.
+        if _obs.is_enabled():
+            from repro.obs.hooks import EngineObserver  # local: lazy
+
+            self._obs = EngineObserver(self)
+            self._obs_spans = self._obs.spans
+        else:
+            self._obs = None
+            self._obs_spans = None
         self.world = None  # set by run(); apps may also build comms directly
 
     # -- identifiers ------------------------------------------------------
@@ -316,10 +335,14 @@ class Engine:
             self._set_ready(proc)
             t.start()
 
+        if self._obs is not None:
+            self._obs.run_started()
         try:
             self._main_loop()
         finally:
             self._drain()
+            if self._obs is not None:
+                self._obs.run_finished()
 
         failed = [p for p in self.procs if p.exc is not None]
         if failed:
@@ -436,6 +459,7 @@ class Engine:
                 # The classic engine would resume the blocked rank here
                 # only for it to re-check its wait loop and block again
                 # at the same clock.  Evaporate instead.
+                self._phantom_elisions += 1
                 continue
             return proc
 
@@ -729,6 +753,7 @@ class Engine:
                         # The awaited message arrived while the phantom
                         # was queued: a real resume after all.
                         break
+                    self._phantom_elisions += 1
                     nxt = None
                     continue
                 break
@@ -785,6 +810,7 @@ class Engine:
         if nxt is proc:
             # Materialized sends can leave this process frontmost again:
             # handing the baton to ourselves is a no-op, skip the park.
+            self._self_handoffs += 1
             proc.state = _State.RUNNING
             if self._aborting:
                 raise Aborted()
@@ -886,6 +912,9 @@ class Engine:
         per-wait hot path: :meth:`_handoff_from` is inlined here."""
         proc.state = _State.BLOCKED
         proc.blocked_on = reason
+        o = self._obs
+        if o is not None:
+            o.note_block(len(self._ready_heap))
         nxt = self._pop_ready()
         if nxt is not proc:
             if nxt is not None:
@@ -895,6 +924,8 @@ class Engine:
             else:
                 self._main_sem.release()
             proc.sem.acquire()
+        else:
+            self._self_handoffs += 1
         if self._aborting:
             raise Aborted()
         proc.state = _State.RUNNING

@@ -274,6 +274,9 @@ class Network:
         self._nic_l = nic_gate.ravel().tolist()
         self._mem_l = mem_gate.ravel().tolist()
         self._cls_l = [class_names[i] for i in cls_idx.ravel().tolist()]
+        # Class-index mirror of _cls_l for observability consumers that
+        # accumulate per-class totals in flat lists (repro.obs.hooks).
+        self._clsidx_l = cls_idx.ravel().tolist()
         # Fused per-pair records: transfer() reads all seven parameters
         # of a pair with one list index + tuple unpack instead of seven
         # separate list probes.  The values are the same float/int

@@ -146,6 +146,11 @@ class PmlMonitoring:
         # mode changed, so both happen at the same point in the global
         # order as with non-deferred sends.
         self.sync: Optional[Callable[[], None]] = None
+        # Set by repro.obs.hooks.EngineObserver: a histogram observing
+        # the segment count of every closed PeerBatch.  Stays None on
+        # uninstrumented engines (close_batch checks once per batch,
+        # not per message).
+        self._obs_batch_hist = None
         if mpit is not None:
             self.register(mpit)
 
@@ -311,6 +316,9 @@ class PmlMonitoring:
         if self.sync is not None:
             self.sync()
         n_cat, b_cat, n_p2p, b_p2p = batch.tallies
+        h = self._obs_batch_hist
+        if h is not None:
+            h.observe(n_cat + n_p2p)
         if n_cat:
             self._accumulate(batch.src, batch.dst, n_cat, b_cat, batch.category)
         if n_p2p:

@@ -16,12 +16,18 @@ Enable before ``Engine.run``::
     tracer = MessageTracer.install(engine)
     engine.run(program)
     matrix = tracer.size_matrix()          # post-mortem only!
+
+The reductions are vectorized: events are transposed once into flat
+column arrays (cached until new events arrive) and every matrix /
+timeline is an ``np.add.at`` scatter over them, so querying a
+million-event trace costs milliseconds instead of seconds.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -56,6 +62,9 @@ class MessageTracer:
     def __init__(self, world_size: int):
         self.world_size = world_size
         self.events: List[TraceEvent] = []
+        # Column-array cache for the vectorized reductions, keyed on
+        # the event count at build time (appends invalidate it).
+        self._cols: Optional[Tuple[int, tuple]] = None
 
     # -- installation -----------------------------------------------------
 
@@ -63,8 +72,11 @@ class MessageTracer:
     def install(cls, engine) -> "MessageTracer":
         """Attach to the pml's trace hook; tracing is independent of
         the monitoring mode (it sees messages even when
-        ``pml_monitoring_enable`` is 0)."""
+        ``pml_monitoring_enable`` is 0).  An already-installed hook
+        (e.g. the observability layer's per-link accounting) is
+        chained, not clobbered."""
         tracer = cls(engine.n_ranks)
+        prev = engine.pml.trace_hook
 
         def hook(t, src: int, dst: int, nbytes: int, category: str,
                  count: int) -> None:
@@ -82,6 +94,8 @@ class MessageTracer:
                 category=category,
                 count=int(count),
             ))
+            if prev is not None:
+                prev(t, src, dst, nbytes, category, count)
 
         engine.pml.trace_hook = hook
         return tracer
@@ -91,36 +105,84 @@ class MessageTracer:
     def __len__(self) -> int:
         return len(self.events)
 
-    def count_matrix(self, category: Optional[str] = None) -> np.ndarray:
+    def _columns(self) -> tuple:
+        """Events transposed into flat arrays (time, src, dst, nbytes,
+        count, category-code, code-of-category map)."""
+        n = len(self.events)
+        if self._cols is not None and self._cols[0] == n:
+            return self._cols[1]
+        ev = self.events
+        time = np.fromiter((e.time for e in ev), dtype=np.float64, count=n)
+        src = np.fromiter((e.src for e in ev), dtype=np.intp, count=n)
+        dst = np.fromiter((e.dst for e in ev), dtype=np.intp, count=n)
+        nbytes = np.fromiter((e.nbytes for e in ev), dtype=np.int64, count=n)
+        count = np.fromiter((e.count for e in ev), dtype=np.int64, count=n)
+        code_of: Dict[str, int] = {
+            c: i for i, c in enumerate(sorted({e.category for e in ev}))
+        }
+        cat = np.fromiter((code_of[e.category] for e in ev), dtype=np.int8,
+                          count=n)
+        cols = (time, src, dst, nbytes, count, cat, code_of)
+        self._cols = (n, cols)
+        return cols
+
+    def _scatter_matrix(self, weights: np.ndarray,
+                        category: Optional[str]) -> np.ndarray:
+        time, src, dst, nbytes, count, cat, code_of = self._columns()
         m = np.zeros((self.world_size, self.world_size), dtype=np.int64)
-        for e in self.events:
-            if category is None or e.category == category:
-                m[e.src, e.dst] += e.count
+        if category is not None:
+            code = code_of.get(category)
+            if code is None:
+                return m
+            mask = cat == code
+            src, dst, weights = src[mask], dst[mask], weights[mask]
+        np.add.at(m, (src, dst), weights)
         return m
+
+    def count_matrix(self, category: Optional[str] = None) -> np.ndarray:
+        if not self.events:
+            return np.zeros((self.world_size, self.world_size),
+                            dtype=np.int64)
+        return self._scatter_matrix(self._columns()[4], category)
 
     def size_matrix(self, category: Optional[str] = None) -> np.ndarray:
-        m = np.zeros((self.world_size, self.world_size), dtype=np.int64)
-        for e in self.events:
-            if category is None or e.category == category:
-                m[e.src, e.dst] += e.nbytes
-        return m
+        if not self.events:
+            return np.zeros((self.world_size, self.world_size),
+                            dtype=np.int64)
+        return self._scatter_matrix(self._columns()[3], category)
 
-    def timeline(self, bin_seconds: float) -> Tuple[np.ndarray, np.ndarray]:
-        """(bin end times, bytes per bin) over the whole run."""
+    def timeline(self, bin_seconds: float,
+                 weight: str = "bytes") -> Tuple[np.ndarray, np.ndarray]:
+        """(bin end times, volume per bin) over the whole run.
+
+        ``weight`` selects the per-bin total: ``"bytes"`` (default) or
+        ``"count"`` — the latter counts messages, honouring the
+        multiplicity of batched events.
+        """
+        if bin_seconds <= 0:
+            raise ValueError(
+                f"bin_seconds must be > 0, got {bin_seconds!r}")
+        if weight not in ("bytes", "count"):
+            raise ValueError(
+                f"weight must be 'bytes' or 'count', got {weight!r}")
         if not self.events:
             return np.array([]), np.array([], dtype=np.int64)
-        t_end = max(e.time for e in self.events)
-        n_bins = int(t_end / bin_seconds) + 1
+        time, src, dst, nbytes, count, cat, code_of = self._columns()
+        # Truncating division matches the scalar int(t / bin) binning
+        # for the non-negative times the simulator produces.
+        bins = (time / bin_seconds).astype(np.int64)
+        n_bins = int(bins.max()) + 1
         vols = np.zeros(n_bins, dtype=np.int64)
-        for e in self.events:
-            vols[int(e.time / bin_seconds)] += e.nbytes
+        np.add.at(vols, bins, nbytes if weight == "bytes" else count)
         times = (np.arange(n_bins) + 1) * bin_seconds
         return times, vols
 
     def per_rank_sent(self) -> np.ndarray:
         out = np.zeros(self.world_size, dtype=np.int64)
-        for e in self.events:
-            out[e.src] += e.nbytes
+        if not self.events:
+            return out
+        _, src, _, nbytes, _, _, _ = self._columns()
+        np.add.at(out, src, nbytes)
         return out
 
     def filtered(self, predicate: Callable[[TraceEvent], bool]) -> List[TraceEvent]:
@@ -156,7 +218,14 @@ class MessageTracer:
                 count = int(fields[5]) if len(fields) > 5 else 1
                 events.append(TraceEvent(float(t), int(src), int(dst),
                                          int(nbytes), cat, count))
-        tracer = cls(world_size or (max(max(e.src, e.dst) for e in events) + 1
-                                    if events else 1))
+        if not world_size:
+            inferred = (max(max(e.src, e.dst) for e in events) + 1
+                        if events else 1)
+            warnings.warn(
+                f"{path}: missing world_size header; inferring "
+                f"world_size={inferred} from the largest rank seen",
+                UserWarning, stacklevel=2)
+            world_size = inferred
+        tracer = cls(world_size)
         tracer.events = events
         return tracer

@@ -145,6 +145,10 @@ def _cmd_run(args) -> int:
           f"{totals['retries']} retries, "
           f"{totals['workers_replaced']} workers replaced, "
           f"utilization {totals['worker_utilization']:.0%}", flush=True)
+    print(f"telemetry: queue wait {totals['queue_wait_s']:.2f}s, "
+          f"backoff {totals['backoff_s']:.2f}s, "
+          f"peak worker RSS {totals['peak_rss_kb_max'] / 1024:.0f} MiB",
+          flush=True)
 
     report_path = args.report
     if report_path is None and not args.no_cache:

@@ -30,9 +30,26 @@ from dataclasses import dataclass, field
 from multiprocessing.connection import wait as conn_wait
 from typing import Any, Callable, Dict, List, Optional
 
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX hosts
+    resource = None
+
 __all__ = ["CellTask", "CellOutcome", "SweepExecutor", "parse_chaos"]
 
 _EXIT = ("exit",)
+
+
+def _peak_rss_kb() -> int:
+    """The calling process's peak RSS in KiB (0 where unavailable).
+
+    ``ru_maxrss`` is KiB on Linux but bytes on macOS."""
+    if resource is None:
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if os.uname().sysname == "Darwin":  # pragma: no cover - macOS only
+        peak //= 1024
+    return int(peak)
 
 
 def parse_chaos(text: Optional[str]) -> Dict[str, int]:
@@ -59,6 +76,7 @@ class CellTask:
     params: Dict[str, Any]
     attempts: int = 0
     not_before: float = 0.0  # monotonic instant gating the retry
+    enqueued_at: float = 0.0  # monotonic instant the task became runnable
 
 
 @dataclass
@@ -72,6 +90,10 @@ class CellOutcome:
     attempts: int = 1
     elapsed_s: float = 0.0  # busy time of the successful attempt
     retry_log: List[str] = field(default_factory=list)
+    # Telemetry (summed over attempts; RSS is the max across them).
+    queue_wait_s: float = 0.0  # runnable-but-unassigned time
+    backoff_s: float = 0.0  # retry backoff delays
+    peak_rss_kb: int = 0  # worker peak RSS while computing the cell
 
 
 def _worker_main(conn, worker_id: int, chaos_crash, chaos_timeout,
@@ -104,11 +126,13 @@ def _worker_main(conn, worker_id: int, chaos_crash, chaos_timeout,
         t0 = time.perf_counter()
         try:
             payload = compute_cell(scenario, params)
-            conn.send(("ok", index, payload, time.perf_counter() - t0))
+            conn.send(("ok", index, payload, time.perf_counter() - t0,
+                       _peak_rss_kb()))
         except BaseException:
             err = traceback.format_exc(limit=30)
             try:
-                conn.send(("err", index, err, time.perf_counter() - t0))
+                conn.send(("err", index, err, time.perf_counter() - t0,
+                           _peak_rss_kb()))
             except (BrokenPipeError, OSError):
                 return
 
@@ -218,8 +242,11 @@ class SweepExecutor:
         task.attempts += 1
         if task.attempts <= self.retries:
             delay = self.backoff_s * (2.0 ** (task.attempts - 1))
-            task.not_before = time.monotonic() + delay
-            outcomes[task.index].retry_log.append(reason)
+            task.enqueued_at = time.monotonic()
+            task.not_before = task.enqueued_at + delay
+            out = outcomes[task.index]
+            out.backoff_s += delay
+            out.retry_log.append(reason)
             pending.append(task)
             events(
                 {"type": "retry", "index": task.index, "reason": reason,
@@ -243,6 +270,9 @@ class SweepExecutor:
             for t in tasks
         }
         pending: List[CellTask] = list(tasks)
+        t_enqueue = time.monotonic()
+        for t in pending:
+            t.enqueued_at = t_enqueue
         done = 0
         total = len(tasks)
         if total == 0:
@@ -260,11 +290,14 @@ class SweepExecutor:
                  for _ in range(n_workers)]
         t_start = time.monotonic()
 
-        def finish(slot: _WorkerSlot, kind: str, payload, elapsed: float):
+        def finish(slot: _WorkerSlot, kind: str, payload, elapsed: float,
+                   rss_kb: int = 0):
             nonlocal done
             task = slot.task
             slot.release()
             out = outcomes[task.index]
+            if rss_kb > out.peak_rss_kb:
+                out.peak_rss_kb = rss_kb
             if kind == "ok":
                 out.status = "ok"
                 out.result = payload
@@ -293,6 +326,8 @@ class SweepExecutor:
                         continue
                     task = min(ready, key=lambda t: t.index)
                     pending.remove(task)
+                    outcomes[task.index].queue_wait_s += max(
+                        0.0, now - max(task.enqueued_at, task.not_before))
                     slot.assign(task, self.timeout_s)
                     events({"type": "start", "index": task.index,
                             "attempt": task.attempts + 1, "worker": slot.id})
@@ -318,7 +353,9 @@ class SweepExecutor:
                         continue
                     if slot.conn in ready_set:
                         try:
-                            kind, _idx, payload, elapsed = slot.conn.recv()
+                            msg = slot.conn.recv()
+                            kind, _idx, payload, elapsed = msg[:4]
+                            rss_kb = msg[4] if len(msg) > 4 else 0
                         except (EOFError, OSError):
                             # Died between send and our read: treat as crash.
                             task = slot.task
@@ -330,7 +367,7 @@ class SweepExecutor:
                             if outcomes[task.index].status == "failed":
                                 done += 1
                             continue
-                        finish(slot, kind, payload, elapsed)
+                        finish(slot, kind, payload, elapsed, rss_kb)
                     elif slot.proc.sentinel in ready_set and not slot.proc.is_alive():
                         task = slot.task
                         exitcode = slot.proc.exitcode

@@ -34,7 +34,9 @@ __all__ = ["CellRecord", "RunReport", "select_cells", "run_sweep",
            "results_by_scenario", "render_reports", "emit_bench",
            "write_run_report"]
 
-REPORT_SCHEMA = 1
+# Schema 2 added the per-cell "telemetry" section (queue wait, backoff,
+# peak RSS) and the top-level "observability" section of the bench doc.
+REPORT_SCHEMA = 2
 
 
 @dataclass
@@ -51,6 +53,10 @@ class CellRecord:
     error: Optional[str] = None
     retry_log: List[str] = field(default_factory=list)
     result: Any = None  # encoded payload (JSON-able)
+    # Executor telemetry (zero for cache hits).
+    queue_wait_s: float = 0.0
+    backoff_s: float = 0.0
+    peak_rss_kb: int = 0
 
 
 @dataclass
@@ -83,6 +89,11 @@ class RunReport:
             "worker_utilization": round(self.worker_utilization, 4),
             "workers_replaced": self.workers_replaced,
             "wall_s": round(self.wall_s, 3),
+            "queue_wait_s": round(
+                sum(c.queue_wait_s for c in self.cells), 3),
+            "backoff_s": round(sum(c.backoff_s for c in self.cells), 3),
+            "peak_rss_kb_max": max(
+                (c.peak_rss_kb for c in self.cells), default=0),
         }
 
     def to_json(self) -> Dict[str, Any]:
@@ -100,6 +111,11 @@ class RunReport:
                     "attempts": c.attempts,
                     "elapsed_s": round(c.elapsed_s, 6),
                     "error": c.error, "retry_log": c.retry_log,
+                    "telemetry": {
+                        "queue_wait_s": round(c.queue_wait_s, 6),
+                        "backoff_s": round(c.backoff_s, 6),
+                        "peak_rss_kb": c.peak_rss_kb,
+                    },
                 }
                 for c in self.cells
             ],
@@ -185,6 +201,8 @@ def run_sweep(
             status=out.status, from_cache=False, attempts=out.attempts,
             elapsed_s=out.elapsed_s, error=out.error,
             retry_log=out.retry_log, result=out.result,
+            queue_wait_s=out.queue_wait_s, backoff_s=out.backoff_s,
+            peak_rss_kb=out.peak_rss_kb,
         )
         if out.status == "ok" and use_cache:
             cache.put(name, params, out.result, elapsed_s=out.elapsed_s)
@@ -237,6 +255,7 @@ def emit_bench(report: RunReport, path: str = "BENCH_sweep.json") -> Dict[str, A
         elif cell.status == "ok":
             fig["computed_wall_s"] = round(
                 fig["computed_wall_s"] + cell.elapsed_s, 6)
+    totals = report.totals
     doc = {
         "bench": "repro.sweep",
         "schema": REPORT_SCHEMA,
@@ -246,7 +265,15 @@ def emit_bench(report: RunReport, path: str = "BENCH_sweep.json") -> Dict[str, A
         "filter": report.filter,
         "smoke": report.smoke,
         "fingerprint": report.fingerprint,
-        "totals": report.totals,
+        "totals": totals,
+        "observability": {
+            "queue_wait_s_total": totals["queue_wait_s"],
+            "backoff_s_total": totals["backoff_s"],
+            "peak_rss_kb_max": totals["peak_rss_kb_max"],
+            "retries": totals["retries"],
+            "workers_replaced": totals["workers_replaced"],
+            "worker_utilization": totals["worker_utilization"],
+        },
         "figures": per_figure,
     }
     with open(path, "w", encoding="utf-8") as fh:

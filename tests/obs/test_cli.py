@@ -1,0 +1,89 @@
+"""The ``python -m repro.obs`` surface, end to end on a tiny cell."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import cli
+
+
+@pytest.fixture(scope="module")
+def exported(tmp_path_factory):
+    """One tiny instrumented fig5 run shared by every CLI test."""
+    d = tmp_path_factory.mktemp("obs")
+    paths = {
+        "trace": str(d / "trace.json"),
+        "metrics": str(d / "metrics.json"),
+        "messages": str(d / "messages.trace"),
+    }
+    rc = cli.main([
+        "export", "--nodes", "1", "--sizes", "50_000,100_000",
+        "--out", paths["trace"],
+        "--metrics", paths["metrics"],
+        "--messages", paths["messages"],
+    ])
+    assert rc == 0
+    return paths
+
+
+class TestExport:
+    def test_leaves_layer_disabled(self, exported):
+        assert not obs.is_enabled()
+
+    def test_trace_is_valid_chrome_json(self, exported):
+        from repro.obs.export import validate_chrome_trace
+
+        with open(exported["trace"], "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        # One PlaFRIM node = 24 ranks.
+        assert validate_chrome_trace(doc, n_ranks=24) == []
+        x = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        assert len(x) > 24  # collectives on every rank + wall spans
+        assert any(e["name"] == "fig5.run_cell" for e in x)
+        assert doc["otherData"]["sizes"] == [50_000, 100_000]
+
+    def test_metrics_snapshot_written(self, exported):
+        with open(exported["metrics"], "r", encoding="utf-8") as fh:
+            snap = json.load(fh)
+        assert snap["counters"]["repro_engine_runs_total"] == 1
+        assert any(k.startswith("repro_net_link_bytes_total")
+                   for k in snap["counters"])
+
+    def test_messages_dumped(self, exported):
+        from repro.simmpi.trace import MessageTracer
+
+        tracer = MessageTracer.load(exported["messages"])
+        assert tracer.world_size == 24
+        assert len(tracer) > 0
+
+
+class TestReaders:
+    def test_validate_ok(self, exported, capsys):
+        assert cli.main(["validate", exported["trace"],
+                         "--ranks", "24"]) == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_validate_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"traceEvents": [{"ph": "X"}]}')
+        assert cli.main(["validate", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().out
+
+    def test_top(self, exported, capsys):
+        assert cli.main(["top", "--messages", exported["messages"],
+                         "-k", "3", "--metrics", exported["metrics"]]) == 0
+        out = capsys.readouterr().out
+        assert "top 3 rank pairs" in out
+        assert "per-link-class bytes:" in out
+
+    def test_top_category_filter(self, exported, capsys):
+        assert cli.main(["top", "--messages", exported["messages"],
+                         "--category", "coll"]) == 0
+        assert "(coll," in capsys.readouterr().out
+
+    def test_heatmap(self, exported, capsys):
+        assert cli.main(["heatmap", "--messages", exported["messages"]]) == 0
+        out = capsys.readouterr().out
+        assert "byte heatmap" in out
+        assert "24 ranks" in out

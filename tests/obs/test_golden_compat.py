@@ -1,0 +1,52 @@
+"""Observation must not perturb the simulation.
+
+Re-runs hot-path golden workloads with the observability layer fully
+enabled (metrics + spans + the chained link hook) and requires the
+engine snapshot — per-rank clocks, monitoring matrices, NIC counters,
+and even the context-switch count — to be bit-identical to the
+committed goldens captured without it.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from scripts.capture_hotpath_golden import snapshot_engine
+from tests.golden.hotpath_workloads import WORKLOADS
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "..", "golden",
+                      "hotpath_golden.json")
+
+# The two workloads that exercise every obs touch point: segmented
+# collectives + monitoring sessions + reorder (fig5) and the
+# overhead-charged OSC path.  The full matrix runs in
+# tests/simmpi/test_hotpath_equivalence.py without obs.
+CASES = ["fig5_shaped", "mixed_monitored", "osc_and_overhead"]
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN, "r", encoding="ascii") as fh:
+        return json.load(fh)
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_enabled_obs_is_bit_identical_to_golden(name, golden):
+    registry, spans = obs.enable()
+    try:
+        engine, results = WORKLOADS[name]()
+    finally:
+        obs.disable()
+
+    snap = snapshot_engine(engine)
+    snap["results"] = results
+    expected = dict(golden[name])
+    assert snap == expected  # includes "switches": scheduling unchanged
+
+    # ...and the run really was observed, not silently skipped.
+    counters = registry.snapshot()["counters"]
+    assert counters["repro_engine_runs_total"] == 1
+    assert counters["repro_engine_messages_total"] == engine.messages > 0
+    assert len(spans) > 0

@@ -1,0 +1,158 @@
+"""Span recorder semantics and the Chrome trace-event export."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    VIRTUAL_PID,
+    WALL_PID,
+    WALL_TID,
+    chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.spans import WALL_LANE, SpanRecorder
+
+
+class TestSpanRecorder:
+    def test_nesting_records_depth(self):
+        rec = SpanRecorder()
+        rec.begin(0, "outer", 0.0)
+        rec.begin(0, "inner", 1.0)
+        assert rec.depth(0) == 2
+        assert rec.end(0, 2.0) == "inner"
+        assert rec.end(0, 3.0) == "outer"
+        # Finished in close order; depth = spans still open at close.
+        assert rec.finished == [
+            (0, "inner", 1.0, 2.0, 1, None),
+            (0, "outer", 0.0, 3.0, 0, None),
+        ]
+
+    def test_lanes_are_independent_stacks(self):
+        rec = SpanRecorder()
+        rec.begin(0, "a", 0.0)
+        rec.begin(1, "b", 0.0)
+        rec.end(0, 1.0)
+        rec.end(1, 2.0)
+        assert len(rec) == 2
+        assert rec.lanes() == [0, 1]
+
+    def test_end_without_begin_raises(self):
+        rec = SpanRecorder()
+        with pytest.raises(ValueError, match="span end without begin"):
+            rec.end(3, 1.0)
+
+    def test_backwards_clock_clamped(self):
+        rec = SpanRecorder()
+        rec.begin(0, "s", 5.0)
+        rec.end(0, 4.0)
+        lane, name, t0, t1, depth, args = rec.finished[0]
+        assert (t0, t1) == (5.0, 5.0)
+
+    def test_wall_lane_sorts_after_ranks(self):
+        rec = SpanRecorder()
+        rec.wall_begin("host")
+        rec.begin(2, "virt", 0.0)
+        rec.end(2, 1.0)
+        rec.wall_end()
+        assert rec.lanes() == [2, WALL_LANE]
+        wall = [s for s in rec.finished if s[0] == WALL_LANE]
+        assert len(wall) == 1 and wall[0][3] >= wall[0][2] >= 0.0
+
+    def test_wall_span_context_manager_closes_on_error(self):
+        rec = SpanRecorder()
+        with pytest.raises(RuntimeError):
+            with rec.wall_span("boom", {"k": 1}):
+                raise RuntimeError
+        assert rec.depth(WALL_LANE) == 0
+        assert rec.finished[0][1] == "boom"
+        assert rec.finished[0][5] == {"k": 1}
+
+
+def _sample_recorder():
+    rec = SpanRecorder()
+    rec.begin(0, "bcast", 0.001)
+    rec.end(0, 0.003)
+    rec.begin(1, "reduce", 0.002, {"alg": "binomial"})
+    rec.end(1, 0.004)
+    rec.wall_begin("run")
+    rec.wall_end()
+    return rec
+
+
+class TestChromeTrace:
+    def test_event_mapping(self):
+        doc = chrome_trace(_sample_recorder(), n_ranks=2)
+        evs = doc["traceEvents"]
+        assert doc["displayTimeUnit"] == "ms"
+
+        x = [e for e in evs if e["ph"] == "X"]
+        virt = [e for e in x if e["pid"] == VIRTUAL_PID]
+        wall = [e for e in x if e["pid"] == WALL_PID]
+        assert {e["tid"] for e in virt} == {0, 1}
+        assert [e["tid"] for e in wall] == [WALL_TID]
+        # Virtual seconds become microseconds.
+        bcast = next(e for e in virt if e["name"] == "bcast")
+        assert bcast["ts"] == pytest.approx(1_000.0)
+        assert bcast["dur"] == pytest.approx(2_000.0)
+        reduce_ev = next(e for e in virt if e["name"] == "reduce")
+        assert reduce_ev["args"] == {"alg": "binomial"}
+
+    def test_metadata_names_every_rank_lane(self):
+        # n_ranks forces lanes even for ranks that never opened a span.
+        doc = chrome_trace(_sample_recorder(), n_ranks=4)
+        names = {
+            (e["pid"], e["tid"]): e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        for r in range(4):
+            assert names[(VIRTUAL_PID, r)] == f"rank {r}"
+        assert names[(WALL_PID, WALL_TID)] == "wall"
+
+    def test_meta_becomes_other_data(self):
+        doc = chrome_trace(SpanRecorder(), meta={"op": "reduce"})
+        assert doc["otherData"] == {"op": "reduce"}
+
+    def test_valid_and_round_trips(self, tmp_path):
+        doc = chrome_trace(_sample_recorder(), n_ranks=2)
+        assert validate_chrome_trace(doc, n_ranks=2) == []
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), doc)
+        assert json.loads(path.read_text()) == doc
+
+
+class TestValidate:
+    def test_rejects_non_document(self):
+        assert validate_chrome_trace([]) == [
+            "document must be an object with a 'traceEvents' list"
+        ]
+        assert validate_chrome_trace({"traceEvents": 3})
+
+    def test_flags_bad_events(self):
+        doc = {"traceEvents": [
+            {"pid": 1, "tid": 0},                                # no ph
+            {"ph": "X", "pid": "1", "tid": 0},                   # str pid
+            {"ph": "X", "pid": 1, "tid": 0, "ts": -1, "dur": 2,
+             "name": "s"},                                       # bad ts
+            {"ph": "X", "pid": 1, "tid": 0, "ts": 0, "dur": -2,
+             "name": "s"},                                       # bad dur
+        ]}
+        errors = validate_chrome_trace(doc)
+        assert len(errors) == 4
+        assert "missing 'ph'" in errors[0]
+        assert "must be integers" in errors[1]
+        assert "bad 'ts'" in errors[2]
+        assert "bad 'dur'" in errors[3]
+
+    def test_n_ranks_requires_all_lanes(self):
+        doc = chrome_trace(_sample_recorder(), n_ranks=2)
+        errors = validate_chrome_trace(doc, n_ranks=4)
+        assert errors == ["missing virtual-time lanes for ranks [2, 3]"]
+        no_wall = {"traceEvents": [
+            e for e in doc["traceEvents"]
+            if not (e["ph"] == "M" and e["pid"] == WALL_PID)
+        ]}
+        assert ("missing the wall-clock self-profile lane"
+                in validate_chrome_trace(no_wall, n_ranks=2))

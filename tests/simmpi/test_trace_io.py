@@ -108,6 +108,93 @@ class TestTracer:
         assert loaded.world_size == 2
         assert loaded.events == tracer.events
 
+    def test_roundtrip_preserves_matrices(self, tmp_path):
+        engine, tracer = traced_engine(4)
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(None, dest=3, nbytes=999)
+            elif comm.rank == 3:
+                comm.recv(source=0)
+            comm.barrier()
+
+        engine.run(prog)
+        path = str(tmp_path / "run.trace")
+        tracer.dump(path)
+        loaded = MessageTracer.load(path)
+        np.testing.assert_array_equal(loaded.count_matrix(),
+                                      tracer.count_matrix())
+        np.testing.assert_array_equal(loaded.size_matrix(),
+                                      tracer.size_matrix())
+        np.testing.assert_array_equal(loaded.size_matrix("p2p"),
+                                      tracer.size_matrix("p2p"))
+
+    def test_load_without_world_size_header_warns(self, tmp_path):
+        path = tmp_path / "headerless.trace"
+        path.write_text(
+            "# simmpi message trace\n"
+            "0.000000001 0 2 10 p2p 1\n"
+            "0.000000002 2 0 20 p2p 1\n"
+        )
+        with pytest.warns(UserWarning, match="missing world_size header"):
+            loaded = MessageTracer.load(str(path))
+        assert loaded.world_size == 3  # largest rank seen + 1
+        assert loaded.size_matrix()[0, 2] == 10
+
+    def test_timeline_rejects_bad_arguments(self):
+        _, tracer = traced_engine(2)
+        with pytest.raises(ValueError, match="bin_seconds must be > 0"):
+            tracer.timeline(bin_seconds=0)
+        with pytest.raises(ValueError, match="bin_seconds must be > 0"):
+            tracer.timeline(bin_seconds=-0.5)
+        with pytest.raises(ValueError, match="weight must be"):
+            tracer.timeline(bin_seconds=0.1, weight="latency")
+
+    def test_timeline_count_weight_honours_multiplicity(self):
+        tracer = MessageTracer(2)
+        tracer.events = [
+            TraceEvent(0.01, 0, 1, 300, "coll", count=3),
+            TraceEvent(0.01, 1, 0, 10, "p2p", count=1),
+            TraceEvent(0.12, 0, 1, 50, "p2p", count=1),
+        ]
+        times, msgs = tracer.timeline(bin_seconds=0.1, weight="count")
+        assert msgs.tolist() == [4, 1]
+        _, vols = tracer.timeline(bin_seconds=0.1)
+        assert vols.tolist() == [310, 50]
+        np.testing.assert_allclose(times, [0.1, 0.2])
+
+    def test_vectorized_reductions_match_naive(self):
+        engine, tracer = traced_engine(4)
+
+        def prog(comm):
+            me, n = comm.rank, comm.size
+            comm.barrier()
+            comm.sendrecv(None, dest=(me + 1) % n, source=(me - 1) % n,
+                          sendtag=0, recvtag=0, nbytes=100 * (me + 1))
+            comm.barrier()
+
+        engine.run(prog)
+        assert len(tracer) > 0
+        counts = np.zeros((4, 4), dtype=np.int64)
+        sizes = np.zeros((4, 4), dtype=np.int64)
+        sent = np.zeros(4, dtype=np.int64)
+        for e in tracer.events:
+            counts[e.src, e.dst] += e.count
+            sizes[e.src, e.dst] += e.nbytes
+            sent[e.src] += e.nbytes
+        np.testing.assert_array_equal(tracer.count_matrix(), counts)
+        np.testing.assert_array_equal(tracer.size_matrix(), sizes)
+        np.testing.assert_array_equal(tracer.per_rank_sent(), sent)
+        # Scalar binning reference for the timeline.
+        bins = {}
+        for e in tracer.events:
+            bins[int(e.time / 0.001)] = bins.get(int(e.time / 0.001), 0) \
+                + e.nbytes
+        _, vols = tracer.timeline(bin_seconds=0.001)
+        for b, v in bins.items():
+            assert vols[b] == v
+        assert vols.sum() == sizes.sum()
+
 
 class TestFileSystem:
     def test_write_read_roundtrip(self):

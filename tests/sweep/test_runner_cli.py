@@ -74,10 +74,15 @@ class TestArtifacts:
         path = tmp_path / "report.json"
         runner.write_run_report(report, str(path))
         doc = json.loads(path.read_text())
-        assert doc["schema"] == 1
+        assert doc["schema"] == runner.REPORT_SCHEMA
         assert doc["totals"]["ok"] == 4
         assert len(doc["cells"]) == 4
         assert doc["fingerprint"] == cache.fingerprint
+        for cell in doc["cells"]:
+            tel = cell["telemetry"]
+            assert tel["queue_wait_s"] >= 0.0
+            assert tel["backoff_s"] >= 0.0
+            assert tel["peak_rss_kb"] >= 0
 
     def test_emit_bench(self, cache, tmp_path):
         report = _selftest_sweep(cache)
@@ -88,6 +93,10 @@ class TestArtifacts:
         assert fig["cells"] == fig["ok"] == 4
         assert fig["computed_wall_s"] >= 0.0
         assert doc["totals"]["cache_hit_rate"] == 0.0
+        obs = doc["observability"]
+        assert obs["queue_wait_s_total"] >= 0.0
+        assert obs["retries"] == doc["totals"]["retries"]
+        assert obs["peak_rss_kb_max"] == doc["totals"]["peak_rss_kb_max"]
 
 
 class TestCli:
