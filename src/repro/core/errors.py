@@ -22,9 +22,23 @@ __all__ = [
     "SessionOverflow",
     "MultipleCall",
     "InvalidRoot",
+    "TraceSchemaError",
     "error_class",
     "raise_for_code",
 ]
+
+
+class TraceSchemaError(ValueError):
+    """A persisted trace/profile declares a schema this code cannot read.
+
+    Raised by every on-disk reader in the repository
+    (:meth:`repro.simmpi.trace.MessageTracer.load`,
+    :func:`repro.core.flushio.read_profile`,
+    :meth:`repro.replay.schema.ReplayTrace.load`) when the file carries
+    an explicit ``schema=N`` marker for an unsupported ``N`` — as
+    opposed to the legacy headerless files, which still load with a
+    warning.
+    """
 
 
 class MonitoringError(Exception):

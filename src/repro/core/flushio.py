@@ -20,8 +20,14 @@ from typing import Any, Dict
 import numpy as np
 
 from repro.core.constants import format_flags
+from repro.core.errors import TraceSchemaError
+
+#: Flush-file format version; ``read_profile`` refuses files declaring
+#: a different one (headerless legacy files still load).
+PROFILE_SCHEMA = 1
 
 __all__ = [
+    "PROFILE_SCHEMA",
     "local_profile_path",
     "root_profile_paths",
     "write_local_profile",
@@ -49,7 +55,8 @@ def _check_dir(path: str) -> None:
 
 def _header(kind: str, meta: Dict[str, Any]) -> str:
     pairs = " ".join(f"{k}={v}" for k, v in meta.items())
-    return f"# MPI_Monitoring profile\n# kind={kind} {pairs}\n"
+    return (f"# MPI_Monitoring profile schema={PROFILE_SCHEMA}\n"
+            f"# kind={kind} {pairs}\n")
 
 
 def write_local_profile(
@@ -124,6 +131,10 @@ def read_profile(path: str) -> Dict[str, Any]:
             rows.append([int(tok) for tok in line.split()])
     if kind is None:
         raise ValueError(f"{path} is not an MPI_Monitoring profile")
+    if "schema" in meta and int(meta["schema"]) != PROFILE_SCHEMA:
+        raise TraceSchemaError(
+            f"{path}: profile schema={meta['schema']}, this reader "
+            f"understands schema={PROFILE_SCHEMA}")
     data = np.array(rows, dtype=np.uint64)
     for key in ("rank", "comm_size"):
         if key in meta:

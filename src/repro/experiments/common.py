@@ -10,6 +10,7 @@ EXPERIMENTS.md).
 from __future__ import annotations
 
 import argparse
+import contextlib
 import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -21,6 +22,8 @@ __all__ = [
     "geomean",
     "parse_sizes",
     "experiment_parser",
+    "handle_trace_in",
+    "trace_capture",
 ]
 
 
@@ -114,7 +117,64 @@ def experiment_parser(
                         help=f"RNG seed (default {seed_note})")
     parser.add_argument("--sizes", type=parse_sizes, default=None,
                         metavar="N,N,...", help=sizes_help)
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="record every simulated run inside this driver "
+                             "to PATH as a replay trace (subsequent runs go "
+                             "to PATH.1, PATH.2, ...)")
+    parser.add_argument("--trace-in", default=None, metavar="PATH",
+                        help="skip the live simulation: load a recorded "
+                             "replay trace, re-cost it through the network "
+                             "model (verified bit-exact) and print a summary")
+    # Recorded traces carry the workload name in their header metadata.
+    parser.set_defaults(_prog=prog)
     return parser
+
+
+def handle_trace_in(args: argparse.Namespace) -> bool:
+    """Serve ``--trace-in``: replay instead of running live.
+
+    Call first thing in a driver's ``main``; a True return means the
+    run was served from the trace and the driver should exit.  The
+    replay is *verified* (every recomputed clock cross-checked against
+    the recorded one), so a stale or corrupted trace fails loudly
+    rather than printing plausible numbers.
+    """
+    path = getattr(args, "trace_in", None)
+    if not path:
+        return False
+    from repro.replay.engine import replay
+    from repro.replay.schema import ReplayTrace
+
+    trace = ReplayTrace.load(path)
+    res = replay(trace, verify=True)
+    total = int(res.byte_matrix().sum())
+    meta = trace.meta or {}
+    workload = meta.get("workload", "?")
+    print(f"replayed {path} (workload {workload}): "
+          f"{trace.world_size} ranks, {len(trace.events)} events, "
+          f"{res.n_messages} messages, {total} bytes on the wire")
+    print(f"  makespan {res.max_clock:.6f}s (bit-exact vs recorded run)")
+    return True
+
+
+@contextlib.contextmanager
+def trace_capture(args: argparse.Namespace):
+    """Honour ``--trace-out`` around a driver body (no-op without it)."""
+    path = getattr(args, "trace_out", None)
+    if not path:
+        yield
+        return
+    from repro.replay import autorecord
+
+    # "python -m repro.experiments.fig5_collectives" -> "fig5_collectives"
+    prog = getattr(args, "_prog", "experiment")
+    meta = {"workload": prog.rsplit(".", 1)[-1]}
+    autorecord.enable_to(path, meta=meta)
+    try:
+        yield
+    finally:
+        autorecord.disable()
+    print(f"trace(s) recorded to {path}")
 
 
 def geomean(values: Sequence[float]) -> float:

@@ -23,7 +23,9 @@ import numpy as np
 from repro.core import api as mapi
 from repro.core.constants import Flags, MPI_M_DATA_IGNORE
 from repro.core.errors import raise_for_code
-from repro.experiments.common import Series, experiment_parser, render_table
+from repro.experiments.common import (Series, experiment_parser,
+                                      handle_trace_in, render_table,
+                                      trace_capture)
 from repro.simmpi import Cluster, Engine
 
 __all__ = ["CounterComparison", "run", "report", "main", "DEFAULT_SIZE_RANGE"]
@@ -175,8 +177,11 @@ def main(argv=None) -> int:
         if len(args.sizes) != 2:
             parser.error("--sizes takes exactly LO,HI for this experiment")
         size_range = (args.sizes[0], args.sizes[1])
-    print(report(run(duration=args.duration, seed=args.seed,
-                     size_range=size_range)))
+    if handle_trace_in(args):
+        return 0
+    with trace_capture(args):
+        print(report(run(duration=args.duration, seed=args.seed,
+                         size_range=size_range)))
     return 0
 
 

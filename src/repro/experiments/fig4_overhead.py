@@ -21,7 +21,9 @@ from scipy import stats
 
 from repro.core import api as mapi
 from repro.core.errors import raise_for_code
-from repro.experiments.common import experiment_parser, full_scale, render_table
+from repro.experiments.common import (experiment_parser, full_scale,
+                                      handle_trace_in, render_table,
+                                      trace_capture)
 from repro.simmpi import Cluster, Engine
 
 __all__ = ["OverheadPoint", "measure_reduce_times", "run_point", "run",
@@ -168,9 +170,12 @@ def main(argv=None) -> int:
     parser.add_argument("--reps", type=int, default=0,
                         help="repetitions (default: 40, or 180 under REPRO_FULL)")
     args = parser.parse_args(argv)
-    print(report(run(node_counts=tuple(args.nodes),
-                     sizes=args.sizes or DEFAULT_SIZES,
-                     reps=args.reps, seed=args.seed)))
+    if handle_trace_in(args):
+        return 0
+    with trace_capture(args):
+        print(report(run(node_counts=tuple(args.nodes),
+                         sizes=args.sizes or DEFAULT_SIZES,
+                         reps=args.reps, seed=args.seed)))
     return 0
 
 

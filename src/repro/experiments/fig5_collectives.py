@@ -29,7 +29,8 @@ from repro.core import api as mapi
 from repro.core.constants import Flags, MPI_M_DATA_IGNORE
 from repro.core.errors import raise_for_code
 from repro.experiments.common import (Series, experiment_parser, full_scale,
-                                      render_table)
+                                      handle_trace_in, render_table,
+                                      trace_capture)
 from repro.placement.reorder import reorder_from_matrix
 from repro.simmpi import Cluster, Engine
 from repro.apps.microbench import collective_kernel
@@ -179,10 +180,14 @@ def main(argv=None) -> int:
                         help="node counts (24 ranks per node)")
     parser.add_argument("--reps", type=int, default=3)
     args = parser.parse_args(argv)
-    for op in ([args.op] if args.op else ["reduce", "bcast"]):
-        print(report(run(op, node_counts=tuple(args.nodes), sizes=args.sizes,
-                         reps=args.reps, seed=args.seed)))
-        print()
+    if handle_trace_in(args):
+        return 0
+    with trace_capture(args):
+        for op in ([args.op] if args.op else ["reduce", "bcast"]):
+            print(report(run(op, node_counts=tuple(args.nodes),
+                             sizes=args.sizes, reps=args.reps,
+                             seed=args.seed)))
+            print()
     return 0
 
 

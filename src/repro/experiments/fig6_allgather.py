@@ -21,7 +21,9 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from repro.apps.microbench import grouped_allgather_benchmark
-from repro.experiments.common import experiment_parser, full_scale, render_table
+from repro.experiments.common import (experiment_parser, full_scale,
+                                      handle_trace_in, render_table,
+                                      trace_capture)
 from repro.simmpi import Cluster, Engine
 
 __all__ = ["HeatmapCell", "run_cell", "run", "report", "main",
@@ -176,9 +178,12 @@ def main(argv=None) -> int:
                         help="node counts (24 ranks per node)")
     parser.add_argument("--group-size", type=int, default=8)
     args = parser.parse_args(argv)
-    print(report(run(node_counts=tuple(args.nodes), sizes=args.sizes,
-                     iteration_counts=args.iters and tuple(args.iters),
-                     group_size=args.group_size, seed=args.seed)))
+    if handle_trace_in(args):
+        return 0
+    with trace_capture(args):
+        print(report(run(node_counts=tuple(args.nodes), sizes=args.sizes,
+                         iteration_counts=args.iters and tuple(args.iters),
+                         group_size=args.group_size, seed=args.seed)))
     return 0
 
 

@@ -34,7 +34,8 @@ from repro.core import api as mapi
 from repro.core.constants import Flags, MPI_M_DATA_IGNORE
 from repro.core.errors import raise_for_code
 from repro.experiments.common import (experiment_parser, full_scale,
-                                      render_table)
+                                      handle_trace_in, render_table,
+                                      trace_capture)
 from repro.placement.reorder import reorder_from_matrix
 from repro.simmpi import Cluster, Engine
 
@@ -207,9 +208,12 @@ def main(argv=None) -> int:
                         choices=MAPPINGS)
     parser.add_argument("--sim-iters", type=int, default=2)
     args = parser.parse_args(argv)
-    print(report(run(classes=args.classes, rank_counts=args.sizes,
-                     mappings=tuple(args.mappings),
-                     sim_iters=args.sim_iters, seed=args.seed)))
+    if handle_trace_in(args):
+        return 0
+    with trace_capture(args):
+        print(report(run(classes=args.classes, rank_counts=args.sizes,
+                         mappings=tuple(args.mappings),
+                         sim_iters=args.sim_iters, seed=args.seed)))
     return 0
 
 

@@ -20,7 +20,9 @@ from typing import List, Sequence
 import numpy as np
 import scipy.sparse as sp
 
-from repro.experiments.common import experiment_parser, full_scale, render_table
+from repro.experiments.common import (experiment_parser, full_scale,
+                                      handle_trace_in, render_table,
+                                      trace_capture)
 from repro.placement.treematch import treematch
 from repro.simmpi.topology import Topology
 
@@ -110,7 +112,10 @@ def main(argv=None) -> int:
                    f"(default {','.join(map(str, DEFAULT_SIZES))})",
     )
     args = parser.parse_args(argv)
-    print(report(run(sizes=args.sizes, seed=args.seed)))
+    if handle_trace_in(args):
+        return 0
+    with trace_capture(args):
+        print(report(run(sizes=args.sizes, seed=args.seed)))
     return 0
 
 

@@ -13,7 +13,7 @@ import numpy as np
 from repro.simmpi.topology import Topology
 
 __all__ = ["identity_placement", "random_placement", "round_robin_placement",
-           "greedy_edge_placement"]
+           "greedy_edge_placement", "local_search_placement"]
 
 
 def _pus(topology: Topology, allowed_pus: Optional[Sequence[int]], n: int) -> List[int]:
@@ -86,3 +86,57 @@ def greedy_edge_placement(matrix, topology: Topology,
         if placement[p] == -1:
             placement[p] = free.pop(0)
     return placement
+
+
+def local_search_placement(matrix, topology: Topology,
+                           allowed_pus: Optional[Sequence[int]] = None,
+                           start: Optional[Sequence[int]] = None,
+                           max_rounds: int = 50) -> List[int]:
+    """Pairwise-swap hill climbing on hop-bytes.
+
+    Starts from ``start`` (default: :func:`greedy_edge_placement`) and
+    repeatedly applies the first rank-pair swap that strictly lowers
+    Σ bytes(i,j)·distance(pu_i, pu_j), until a full pass finds none (a
+    2-opt local optimum) or ``max_rounds`` passes elapse.  Swap deltas
+    are evaluated incrementally — O(n) per candidate pair instead of
+    recomputing the O(n²) objective — so a pass over all pairs is
+    O(n³) worst case but milliseconds at the paper's rank counts.
+    """
+    m = np.asarray(matrix, dtype=np.float64)
+    n = m.shape[0]
+    if start is None:
+        placement = greedy_edge_placement(m, topology, allowed_pus)
+    else:
+        placement = list(start)
+        if len(placement) != n:
+            raise ValueError(
+                f"start has {len(placement)} entries for {n} processes")
+    w = m + m.T
+    np.fill_diagonal(w, 0.0)
+    # Distances between the n *assigned* PUs; sig[i] indexes rank i's
+    # PU in that table so a swap only exchanges two sig entries.
+    pud = np.array([[topology.hop_distance(a, b) for b in placement]
+                    for a in placement], dtype=np.float64)
+    sig = np.arange(n)
+    # P[i, j] = distance between the PUs currently holding ranks i and
+    # j; row_dot[j] = w[j] · P[j].  For a fixed i, the swap deltas for
+    # every j come from four rank-one products (the i–j pair itself is
+    # unaffected: distance is symmetric), so one pass is O(n²) numpy
+    # work per pivot instead of O(n³) scalar work overall.
+    P = pud[np.ix_(sig, sig)]
+    row_dot = np.einsum("jk,jk->j", w, P)
+    for _ in range(max_rounds):
+        improved = False
+        for i in range(n):
+            delta = (P @ w[i] - w[i] @ P[i]
+                     - row_dot + w @ P[i] + 2.0 * w[:, i] * P[i])
+            better = np.nonzero(delta[i + 1:] < -1e-12)[0]
+            if better.size:
+                j = i + 1 + int(better[0])
+                sig[i], sig[j] = sig[j], sig[i]
+                P = pud[np.ix_(sig, sig)]
+                row_dot = np.einsum("jk,jk->j", w, P)
+                improved = True
+        if not improved:
+            break
+    return [placement[s] for s in sig]

@@ -1,0 +1,375 @@
+"""``python -m repro.replay`` — record, replay, search, diff.
+
+Subcommands::
+
+    record   run a Fig. 5 collective cell under the recorder, write a trace
+    replay   re-cost a trace (identity, new binding, or substituted algs)
+    search   score candidate placements offline; optionally benchmark
+             the search against live re-simulation (``--bench``)
+    diff     compare two traces (or two replays of one trace)
+
+The trace file is the interchange format: any experiment driver can
+produce one via its shared ``--trace-out`` flag
+(:mod:`repro.experiments.common`), and everything here consumes it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Optional
+
+__all__ = ["main"]
+
+BENCH_SCHEMA = 1
+
+
+# ---------------------------------------------------------------------------
+# shared helpers
+
+
+def _parse_substitute(pairs: Optional[List[str]]) -> Optional[Dict[str, str]]:
+    if not pairs:
+        return None
+    out: Dict[str, str] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise argparse.ArgumentTypeError(
+                f"--substitute wants op=alg, got {pair!r}")
+        op, alg = pair.split("=", 1)
+        out[op.strip()] = alg.strip()
+    return out
+
+
+def _parse_binding(text: Optional[str]) -> Optional[List[int]]:
+    if text is None:
+        return None
+    return [int(tok) for tok in text.replace(",", " ").split()]
+
+
+def _load(path: str):
+    from repro.replay.schema import ReplayTrace
+
+    return ReplayTrace.load(path)
+
+
+def _summary_lines(trace, res) -> List[str]:
+    lines = [
+        f"events      {len(trace.events)}",
+        f"ranks       {trace.world_size}",
+        f"messages    {res.n_messages}",
+        f"mode        {'exact (bit-identical to the live run)' if res.exact else 'recosted'}",
+        f"makespan    {res.max_clock:.6f} s (recorded {max(trace.clocks):.6f} s)",
+    ]
+    for cat, mat in res.total_sizes.items():
+        total = int(mat.sum())
+        if total:
+            lines.append(f"bytes[{cat}] {total}")
+    return lines
+
+
+# ---------------------------------------------------------------------------
+# record
+
+
+def _cmd_record(args) -> int:
+    from repro.experiments import fig5_collectives
+    from repro.replay import autorecord
+
+    sizes = args.sizes or (1_000_000, 5_000_000)
+    meta = {
+        "workload": "fig5",
+        "op": args.op,
+        "n_nodes": args.nodes,
+        "sizes": list(sizes),
+        "reps": args.reps,
+        "seed": args.seed,
+    }
+    autorecord.enable_to(args.out, meta=meta)
+    try:
+        points = fig5_collectives.run_cell(
+            args.op, args.nodes, sizes=tuple(sizes), reps=args.reps,
+            seed=args.seed)
+    finally:
+        autorecord.disable()
+    trace = _load(args.out)
+    print(f"recorded {len(trace.events)} events from fig5[{args.op}] "
+          f"({trace.world_size} ranks) -> {args.out}")
+    for p in points:
+        print(f"  n_ints={p.n_ints:>10}  baseline {p.t_baseline:.4f}s  "
+              f"reordered {p.t_reordered:.4f}s")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# replay
+
+
+def _cmd_replay(args) -> int:
+    from repro.replay.engine import replay
+
+    trace = _load(args.trace)
+    binding = _parse_binding(args.binding)
+    if args.swap_pus:
+        binding = list(trace.binding) if binding is None else binding
+        a, b = args.swap_pus
+        binding = [b if pu == a else a if pu == b else pu for pu in binding]
+    res = replay(trace, binding=binding, seed=args.seed,
+                 substitute=_parse_substitute(args.substitute),
+                 verify=args.verify)
+    for line in _summary_lines(trace, res):
+        print(line)
+    if args.verify:
+        print("verify      every zero-gap clock matches the recording")
+    if args.json:
+        doc = {
+            "makespan": res.max_clock,
+            "clocks": res.clocks,
+            "exact": res.exact,
+            "n_messages": res.n_messages,
+            "total_bytes": {c: int(m.sum())
+                            for c, m in res.total_sizes.items()},
+            "monitored_bytes": {c: int(m.sum())
+                                for c, m in res.sizes.items()},
+        }
+        with open(args.json, "w", encoding="ascii") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# search
+
+
+def _cmd_search(args) -> int:
+    from repro.experiments.common import render_table
+    from repro.replay.search import STRATEGIES, what_if_search
+
+    trace = _load(args.trace)
+    strategies = ([s.strip() for s in args.strategies.split(",") if s.strip()]
+                  if args.strategies else list(STRATEGIES))
+    t0 = time.perf_counter()
+    res = what_if_search(trace, strategies=strategies, seed=args.seed,
+                         substitute=_parse_substitute(args.substitute))
+    search_wall = time.perf_counter() - t0
+    rows = [
+        (c.strategy, round(c.makespan, 6),
+         round(res.recorded_makespan / c.makespan, 3) if c.makespan else "inf",
+         int(c.inter_node_bytes), round(c.wall_seconds * 1e3, 1))
+        for c in res.candidates
+    ]
+    print(render_table(
+        ["strategy", "makespan (s)", "speedup", "inter-node bytes",
+         "wall (ms)"],
+        rows,
+        title=f"what-if placement search over {args.trace} "
+              f"({trace.world_size} ranks, {len(trace.events)} events)"))
+    print(f"\nbest: {res.best.strategy} "
+          f"(makespan {res.best.makespan:.6f}s, "
+          f"{res.speedup:.2f}x vs recorded; search took {search_wall:.3f}s)")
+    print(f"k = {list(map(int, res.k))}")
+    if args.bench:
+        _write_bench(args.bench, trace, res, search_wall)
+    if args.json:
+        doc = {
+            "recorded_makespan": res.recorded_makespan,
+            "best": res.best.strategy,
+            "speedup": res.speedup,
+            "k": [int(v) for v in res.k],
+            "candidates": [
+                {"strategy": c.strategy, "makespan": c.makespan,
+                 "placement": c.placement, "hop_bytes": c.hop_bytes,
+                 "inter_node_bytes": c.inter_node_bytes,
+                 "modeled_cost": c.modeled_cost,
+                 "wall_seconds": c.wall_seconds}
+                for c in res.candidates
+            ],
+            "meta": res.meta,
+        }
+        with open(args.json, "w", encoding="ascii") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _write_bench(path: str, trace, res, search_wall: float) -> None:
+    """Benchmark the replay search against live re-simulation.
+
+    For every candidate the search scored, re-run the *recording
+    workload* live under that candidate's binding and wall-time it —
+    the honest comparator: what scoring the same placements would cost
+    without the trace.  Only traces recorded by ``record`` (or any
+    driver that stamps ``meta["workload"]``) know their workload.
+    """
+    from repro.experiments import fig5_collectives
+    from repro.replay.schema import build_cluster
+    from repro.simmpi import Engine
+
+    meta = trace.meta or {}
+    if meta.get("workload") != "fig5":
+        raise SystemExit(
+            "--bench needs a trace recorded by `repro-replay record` "
+            f"(meta.workload == 'fig5'); this trace has {meta!r}")
+    live: Dict[str, Dict[str, float]] = {}
+    live_total = 0.0
+    for c in res.candidates:
+        cluster = build_cluster(trace, binding=c.placement)
+        engine = Engine(cluster, seed=int(meta.get("seed", 0)))
+        t0 = time.perf_counter()
+        fig5_collectives.run_cell(
+            meta["op"], int(meta["n_nodes"]),
+            sizes=tuple(meta["sizes"]), reps=int(meta["reps"]),
+            seed=int(meta.get("seed", 0)), engine=engine)
+        wall = time.perf_counter() - t0
+        live_total += wall
+        live[c.strategy] = {"wall_seconds": wall,
+                            "makespan": engine.max_clock}
+    replay_total = sum(c.wall_seconds for c in res.candidates)
+    doc = {
+        "schema": BENCH_SCHEMA,
+        "workload": meta.get("workload"),
+        "cell": {k: meta[k] for k in
+                 ("op", "n_nodes", "sizes", "reps", "seed") if k in meta},
+        "world_size": trace.world_size,
+        "n_events": len(trace.events),
+        "strategies": [c.strategy for c in res.candidates],
+        "replay_search": {
+            "total_wall_seconds": search_wall,
+            "candidate_wall_seconds": replay_total,
+            "per_strategy": {
+                c.strategy: {"wall_seconds": c.wall_seconds,
+                             "makespan": c.makespan}
+                for c in res.candidates
+            },
+        },
+        "live_rerun": {
+            "total_wall_seconds": live_total,
+            "per_strategy": live,
+        },
+        "speedup": live_total / search_wall if search_wall else float("inf"),
+    }
+    with open(path, "w", encoding="ascii") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"bench: live {live_total:.3f}s vs replay search "
+          f"{search_wall:.3f}s = {doc['speedup']:.1f}x -> {path}")
+
+
+# ---------------------------------------------------------------------------
+# diff
+
+
+def _cmd_diff(args) -> int:
+    import numpy as np
+
+    from repro.replay.engine import replay
+
+    ta, tb = _load(args.a), _load(args.b)
+    if ta.world_size != tb.world_size:
+        print(f"world size differs: {ta.world_size} vs {tb.world_size}")
+        return 1
+    sub = _parse_substitute(args.substitute)
+    ra = replay(ta)
+    rb = replay(tb, substitute=sub)
+    rc = 0
+    print(f"events     {len(ta.events)} vs {len(tb.events)}")
+    print(f"messages   {ra.n_messages} vs {rb.n_messages}")
+    print(f"makespan   {ra.max_clock:.6f} vs {rb.max_clock:.6f} "
+          f"(delta {rb.max_clock - ra.max_clock:+.6f})")
+    for label, ma, mb in (
+        ("total", ra.byte_matrix(), rb.byte_matrix()),
+        ("monitored", ra.byte_matrix(True), rb.byte_matrix(True)),
+    ):
+        if np.array_equal(ma, mb):
+            print(f"{label:9s}  byte matrices identical "
+                  f"({int(ma.sum())} bytes)")
+        else:
+            d = np.argwhere(ma != mb)
+            delta = int(mb.sum()) - int(ma.sum())
+            print(f"{label:9s}  {len(d)} pairs differ, "
+                  f"net {delta:+d} bytes; first "
+                  + ", ".join(
+                      f"({int(i)},{int(j)}): {int(ma[i, j])}->{int(mb[i, j])}"
+                      for i, j in d[:4]))
+            rc = 1
+    return rc
+
+
+# ---------------------------------------------------------------------------
+# parser
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.replay",
+        description=__doc__.split("\n", 1)[0],
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("record",
+                       help="run a Fig. 5 cell under the recorder")
+    p.add_argument("-o", "--out", required=True, metavar="PATH",
+                   help="trace file to write")
+    p.add_argument("--op", choices=["reduce", "bcast"], default="reduce")
+    p.add_argument("--nodes", type=int, default=2,
+                   help="PlaFRIM node count (24 ranks per node)")
+    p.add_argument("--sizes", type=_sizes, default=None, metavar="N,N,...",
+                   help="buffer sizes in MPI_INT counts "
+                        "(default 1000000,5000000)")
+    p.add_argument("--reps", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_record)
+
+    p = sub.add_parser("replay", help="re-cost a recorded trace")
+    p.add_argument("trace", help="trace file from record / --trace-out")
+    p.add_argument("--binding", default=None, metavar="PU,PU,...",
+                   help="rank->PU binding override (world-rank order)")
+    p.add_argument("--swap-pus", type=int, nargs=2, default=None,
+                   metavar=("A", "B"), help="swap two PUs in the binding")
+    p.add_argument("--substitute", action="append", metavar="OP=ALG",
+                   help="collective algorithm substitution (repeatable)")
+    p.add_argument("--seed", type=int, default=None,
+                   help="jitter seed override")
+    p.add_argument("--verify", action="store_true",
+                   help="cross-check replayed clocks against the recording")
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="also dump the result as JSON")
+    p.set_defaults(func=_cmd_replay)
+
+    p = sub.add_parser("search", help="what-if placement search")
+    p.add_argument("trace")
+    p.add_argument("--strategies", default=None, metavar="S,S,...",
+                   help="comma-separated strategy list (default: all)")
+    p.add_argument("--substitute", action="append", metavar="OP=ALG")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", metavar="PATH", default=None)
+    p.add_argument("--bench", metavar="PATH", default=None,
+                   help="also wall-time live re-simulation of every "
+                        "candidate and write a benchmark JSON")
+    p.set_defaults(func=_cmd_search)
+
+    p = sub.add_parser("diff", help="compare two traces")
+    p.add_argument("a")
+    p.add_argument("b")
+    p.add_argument("--substitute", action="append", metavar="OP=ALG",
+                   help="apply a substitution to the second trace")
+    p.set_defaults(func=_cmd_diff)
+    return parser
+
+
+def _sizes(text: str):
+    from repro.experiments.common import parse_sizes
+
+    return parse_sizes(text)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -388,19 +388,27 @@ class Communicator:
         identical with tracing off (``engine._obs_spans is None``, the
         common case, costs one attribute read per collective call).
         """
-        rec = self.engine._obs_spans
-        if rec is None:
+        eng = self.engine
+        rec = eng._obs_spans
+        rr = eng._rr
+        if rec is None and rr is None:
             return fn(*args, **kwargs)
         try:
             proc = _tls.proc
         except AttributeError:
             raise SimError("not inside a simulated MPI process") from None
-        name = opname if _alg is None else f"{opname}[{_alg}]"
-        rec.begin(proc.rank, name, proc.clock)
+        if rr is not None:
+            rr.on_coll_begin(proc, self, opname, _alg, kwargs)
+        if rec is not None:
+            name = opname if _alg is None else f"{opname}[{_alg}]"
+            rec.begin(proc.rank, name, proc.clock)
         try:
             return fn(*args, **kwargs)
         finally:
-            rec.end(proc.rank, proc.clock)
+            if rec is not None:
+                rec.end(proc.rank, proc.clock)
+            if rr is not None:
+                rr.on_coll_end(proc)
 
     def barrier(self, algorithm: Optional[str] = None) -> None:
         from repro.simmpi.collectives.barrier import barrier

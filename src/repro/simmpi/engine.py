@@ -71,6 +71,7 @@ from enum import Enum
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs as _obs
+from repro.replay import autorecord as _replay
 from repro.simmpi.cluster import Cluster
 from repro.simmpi.errorsim import Aborted, DeadlockError, RankFailure, SimError
 from repro.simmpi.match import ANY_SOURCE, ANY_TAG, Message
@@ -236,6 +237,7 @@ class Engine:
             raise ValueError("handoff must be 'exact' or 'fast'")
         self.handoff = handoff
         self._fast = handoff == "fast"
+        self.seed = int(seed)
         self.cluster = cluster
         self.network = Network(
             cluster.topology, cluster.binding, cluster.params, seed=seed
@@ -279,6 +281,10 @@ class Engine:
         else:
             self._obs = None
             self._obs_spans = None
+        # Replay recording: None unless repro.replay.autorecord was
+        # active when this engine was built; same is-not-None fast-path
+        # discipline as the observer.
+        self._rr = _replay.attach(self)
         self.world = None  # set by run(); apps may also build comms directly
 
     # -- identifiers ------------------------------------------------------
@@ -340,9 +346,16 @@ class Engine:
         try:
             self._main_loop()
         finally:
+            # Sampled before _drain(), which unconditionally raises the
+            # abort flag while unwinding parked threads.
+            clean = (not self._aborting
+                     and self._n_done == len(self.procs)
+                     and all(p.exc is None for p in self.procs))
             self._drain()
             if self._obs is not None:
                 self._obs.run_finished()
+            if clean and self._rr is not None:
+                self._rr.run_finished(self)
 
         failed = [p for p in self.procs if p.exc is not None]
         if failed:
@@ -545,16 +558,22 @@ class Engine:
                     tl[0] += 1
                     tl[1] += nbytes
                 recorded = True
+        t_pre = clock
         if recorded and self.monitoring_overhead > 0.0:
             proc.clock = clock = clock + self.monitoring_overhead
         sender_done, arrival = self.network.transfer(
             proc.rank, dst_world, nbytes, clock
         )
         proc.clock = sender_done
-        req = queue.deliver(Message(src_local, dst_local, tag, context, buf,
-                                    arrival, category))
+        msg = Message(src_local, dst_local, tag, context, buf,
+                      arrival, category)
+        req = queue.deliver(msg)
         if req is not None:
             self._wake_bound(req)
+        rr = self._rr
+        if rr is not None:
+            rr.on_send(proc, dst_world, nbytes, category, recorded,
+                       t_pre, msg)
 
     def _materialize(self, ps: list) -> Optional[SimProcess]:
         """Execute a send: record, charge, transfer, deliver.
@@ -595,6 +614,7 @@ class Engine:
                     tl[0] += 1
                     tl[1] += nbytes
                 recorded = True
+        t_pre = clock
         if recorded and self.monitoring_overhead > 0.0:
             proc.clock = clock = clock + self.monitoring_overhead
         # Network.transfer, inlined (nearly every message materializes
@@ -683,6 +703,10 @@ class Engine:
                     heapq.heappush(self._ready_heap,
                                    (rp.clock, rp.rank, rp.ready_seq, rp,
                                     None))
+        rr = self._rr
+        if rr is not None:
+            rr.on_send(proc, ps[3], nbytes, msg.category, recorded,
+                       t_pre, msg)
         if ps[6]:
             return proc
         return None

@@ -175,10 +175,15 @@ class Network:
         binding: Sequence[int],
         params: NetworkParams,
         seed: int = 0,
+        record_nic: bool = True,
     ):
         self.topology = topology
         self.binding = list(binding)
         self.params = params
+        # record_nic=False skips the per-message hardware-counter
+        # appends (the trace replayer scores thousands of what-if
+        # configurations and never reads them); timing is unaffected.
+        self._record_nic = bool(record_nic)
         n_nodes = topology.n_components(topology.level_names[0])
         self.nic = NicCounters(n_nodes, lanes=params.lanes)
         # Busy-until horizons per node, as plain Python floats: both
@@ -281,8 +286,10 @@ class Network:
         # of a pair with one list index + tuple unpack instead of seven
         # separate list probes.  The values are the same float/int
         # objects as in the flat mirrors above, so costs stay bit-exact.
+        counted = (self._cross_l if self._record_nic
+                   else [False] * len(self._cross_l))
         self._pair_l = list(zip(self._alpha_l, self._bw_l, self._src_l,
-                                self._dst_l, self._cross_l, self._nic_l,
+                                self._dst_l, counted, self._nic_l,
                                 self._mem_l))
         self._o_send = float(params.send_overhead)
         self._mem_bw = params.mem_bandwidth

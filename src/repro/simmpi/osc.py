@@ -84,12 +84,17 @@ class Window:
         origin_w = proc.rank
         target_w = comm.world_rank(target)
         engine.maybe_yield(proc)
-        if engine.pml.record(origin_w, target_w, buf.nbytes, "osc"):
+        t_pre = proc.clock
+        recorded = engine.pml.record(origin_w, target_w, buf.nbytes, "osc")
+        if recorded:
             engine.charge_monitoring_overhead(proc)
         sender_done, _arrival = engine.network.transfer(
             origin_w, target_w, buf.nbytes, proc.clock
         )
         proc.clock = sender_done
+        rr = engine._rr
+        if rr is not None:
+            rr.on_put(proc, target_w, buf.nbytes, recorded, t_pre)
         self._memory[target] = buf.copy_payload()
         self._nbytes[target] = buf.nbytes
 
@@ -108,7 +113,9 @@ class Window:
         target_w = comm.world_rank(target)
         n = self._nbytes.get(target, 0) if nbytes is None else int(nbytes)
         engine.maybe_yield(proc)
-        if engine.pml.record(target_w, origin_w, n, "osc"):
+        t_pre = proc.clock
+        recorded = engine.pml.record(target_w, origin_w, n, "osc")
+        if recorded:
             engine.charge_monitoring_overhead(proc)
         # Request flight to the target, then the data transfer back.
         cls = engine.network.sharing_class(origin_w, target_w)
@@ -118,6 +125,9 @@ class Window:
             target_w, origin_w, n, t_request_arrives
         )
         proc.clock = max(proc.clock, arrival) + engine.network.recv_overhead
+        rr = engine._rr
+        if rr is not None:
+            rr.on_get(proc, target_w, n, recorded, t_pre)
         data = self._memory.get(target)
         if isinstance(data, np.ndarray):
             return data.copy()

@@ -113,7 +113,11 @@ class RecvRequest(Request):
             finally:
                 proc.wait_obj = None
         msg = self._msg
-        proc.clock = max(proc.clock, msg.arrival) + engine.network.recv_overhead
+        t_pre = proc.clock
+        proc.clock = max(t_pre, msg.arrival) + engine.network.recv_overhead
+        rr = engine._rr
+        if rr is not None:
+            rr.on_recv(proc, t_pre, msg)
         return msg
 
     def test(self) -> bool:

@@ -190,10 +190,14 @@ class MessageTracer:
 
     # -- persistence (per-process trace files, like EZtrace) ----------------
 
+    #: On-disk format version.  Bump when a line's meaning changes;
+    #: readers refuse files from the future instead of misparsing them.
+    SCHEMA = 1
+
     def dump(self, path: str) -> None:
         """One line per event: ``time src dst nbytes category count``."""
         with open(path, "w", encoding="ascii") as fh:
-            fh.write("# simmpi message trace\n")
+            fh.write(f"# simmpi message trace schema={self.SCHEMA}\n")
             fh.write(f"# world_size={self.world_size} events={len(self.events)}\n")
             for e in self.events:
                 fh.write(
@@ -209,6 +213,14 @@ class MessageTracer:
             for line in fh:
                 line = line.strip()
                 if line.startswith("#"):
+                    if "schema=" in line:
+                        schema = int(line.split("schema=")[1].split()[0])
+                        if schema != cls.SCHEMA:
+                            from repro.core.errors import TraceSchemaError
+
+                            raise TraceSchemaError(
+                                f"{path}: trace schema={schema}, this "
+                                f"reader understands schema={cls.SCHEMA}")
                     if "world_size=" in line:
                         world_size = int(line.split("world_size=")[1].split()[0])
                     continue

@@ -18,6 +18,8 @@ fig5      one cell per (op, node count) — the buffer sweep shares one
 fig6      one cell per (nodes, buffer size, iterations), cold engine
 fig7      one cell per (class, NP, mapping) — ``fig7_cg.run_one``
 table1    one cell per matrix order (real wall-clock timing)
+whatif    one cell per (op, node count) — record a fig5 cell, then
+          search candidate placements offline via repro.replay
 selftest  hidden micro-scenario used by executor tests and CI chaos
 ========  ==========================================================
 """
@@ -372,6 +374,84 @@ def _table1_report(results: List[Any]) -> str:
     return table1_treematch.report(results)
 
 
+# -------------------------------------------------------------- whatif
+
+
+def _whatif_cells(cfg: SweepConfig) -> List[Dict[str, Any]]:
+    from repro.experiments import fig5_collectives
+
+    seed = 0 if cfg.seed is None else cfg.seed
+    if cfg.smoke:
+        ops: Sequence[str] = ("reduce",)
+        nodes: Tuple[int, ...] = (2,)
+        sizes: Sequence[int] = (1_000_000,)
+        strategies = ["treematch", "local"]
+    else:
+        ops = ("reduce", "bcast")
+        nodes = (2, 4)
+        sizes = cfg.sizes or fig5_collectives.DEFAULT_SIZES
+        strategies = ["identity", "treematch", "greedy", "local",
+                      "round_robin"]
+    return [
+        {"op": op, "n_nodes": n, "sizes": list(sizes), "reps": 1,
+         "seed": seed, "strategies": strategies}
+        for op in ops for n in nodes
+    ]
+
+
+def _whatif_compute(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Record one fig5 cell live, then search placements offline."""
+    from repro.experiments import fig5_collectives
+    from repro.replay import autorecord
+    from repro.replay.search import what_if_search
+
+    with autorecord.capture(meta={"workload": "fig5"}) as traces:
+        fig5_collectives.run_cell(
+            params["op"], params["n_nodes"], sizes=tuple(params["sizes"]),
+            reps=params["reps"], seed=params["seed"])
+    trace = traces[0]
+    res = what_if_search(trace, strategies=params["strategies"],
+                         seed=params["seed"])
+    return {
+        "op": params["op"],
+        "np_ranks": trace.world_size,
+        "n_events": len(trace.events),
+        "recorded_makespan": res.recorded_makespan,
+        "best": res.best.strategy,
+        "speedup": res.speedup,
+        "k": [int(v) for v in res.k],
+        "candidates": [
+            {"strategy": c.strategy, "makespan": c.makespan,
+             "inter_node_bytes": c.inter_node_bytes}
+            for c in res.candidates
+        ],
+    }
+
+
+def _whatif_report(results: List[Any]) -> str:
+    from repro.experiments.common import render_table
+
+    rows = []
+    for r in results:
+        for c in r["candidates"]:
+            rows.append((
+                r["op"], r["np_ranks"], c["strategy"],
+                round(c["makespan"], 6),
+                round(r["recorded_makespan"] / c["makespan"], 3)
+                if c["makespan"] else "inf",
+                int(c["inter_node_bytes"]),
+            ))
+    best = "; ".join(
+        f"{r['op']}/np{r['np_ranks']}: {r['best']} ({r['speedup']:.2f}x)"
+        for r in results)
+    table = render_table(
+        ["op", "np", "strategy", "makespan (s)", "speedup",
+         "inter-node bytes"],
+        rows,
+        title="whatif — offline placement search over recorded traces")
+    return f"{table}\n\nbest per cell: {best}"
+
+
 # ------------------------------------------------------------ selftest
 
 
@@ -429,6 +509,9 @@ _register(ScenarioSpec(
     "table1", "Table 1 — TreeMatch computation time (§7)",
     _table1_cells, _table1_compute, _table1_encode, _table1_decode,
     _table1_report))
+_register(ScenarioSpec(
+    "whatif", "What-if placement search on recorded replay traces",
+    _whatif_cells, _whatif_compute, _identity, _identity, _whatif_report))
 _register(ScenarioSpec(
     "selftest", "executor self-test cells (hidden)",
     _selftest_cells, _selftest_compute, _identity, _identity,

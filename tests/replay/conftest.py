@@ -1,0 +1,25 @@
+"""Shared fixtures: record the golden fig5-shaped workload once.
+
+The live run costs a few seconds, so one session-scoped recording
+serves every replay test; treat the trace as read-only.
+"""
+
+import pytest
+
+from repro.replay import autorecord
+
+
+@pytest.fixture(scope="session")
+def fig5_recording():
+    """(trace, engine, results) for the golden fig5_shaped workload."""
+    from tests.golden.hotpath_workloads import fig5_shaped
+
+    with autorecord.capture(meta={"workload": "fig5_shaped"}) as traces:
+        engine, results = fig5_shaped()
+    assert len(traces) == 1
+    return traces[0], engine, results
+
+
+@pytest.fixture(scope="session")
+def fig5_trace(fig5_recording):
+    return fig5_recording[0]

@@ -1,0 +1,103 @@
+"""Trace persistence: exact round-trips and schema gating."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import TraceSchemaError
+from repro.replay.schema import SCHEMA_VERSION, ReplayTrace
+
+
+def test_dump_load_roundtrip_is_exact(fig5_trace, tmp_path):
+    path = str(tmp_path / "t.trace")
+    fig5_trace.dump(path)
+    back = ReplayTrace.load(path)
+    assert back.world_size == fig5_trace.world_size
+    assert back.seed == fig5_trace.seed
+    assert back.binding == fig5_trace.binding
+    assert back.topology == fig5_trace.topology
+    assert back.params == fig5_trace.params
+    assert back.monitoring_overhead == fig5_trace.monitoring_overhead
+    assert back.clocks == fig5_trace.clocks  # floats, bit-for-bit
+    assert back.events == fig5_trace.events
+    assert back.meta == fig5_trace.meta
+
+
+def test_byte_matrix_roundtrip(fig5_trace, tmp_path):
+    path = str(tmp_path / "t.trace")
+    fig5_trace.dump(path)
+    back = ReplayTrace.load(path)
+    assert np.array_equal(back.byte_matrix(), fig5_trace.byte_matrix())
+    assert np.array_equal(back.byte_matrix(monitored_only=True),
+                          fig5_trace.byte_matrix(monitored_only=True))
+
+
+def test_future_schema_rejected(fig5_trace, tmp_path):
+    path = str(tmp_path / "t.trace")
+    fig5_trace.dump(path)
+    lines = open(path).read().splitlines(keepends=True)
+    lines[0] = lines[0].replace(f"schema={SCHEMA_VERSION}",
+                                f"schema={SCHEMA_VERSION + 1}")
+    mangled = str(tmp_path / "future.trace")
+    open(mangled, "w").writelines(lines)
+    with pytest.raises(TraceSchemaError):
+        ReplayTrace.load(mangled)
+
+
+def test_missing_schema_token_rejected(tmp_path):
+    path = str(tmp_path / "bare.trace")
+    open(path, "w").write("# repro.replay trace\n")
+    with pytest.raises(TraceSchemaError):
+        ReplayTrace.load(path)
+
+
+class TestSiblingReaders:
+    """The satellite migration: every on-disk reader gates on schema."""
+
+    def test_message_tracer_roundtrip_and_gate(self, tmp_path):
+        from repro.simmpi.trace import MessageTracer, TraceEvent
+
+        tracer = MessageTracer(4)
+        tracer.events = [TraceEvent(0.5, 0, 1, 100, "p2p"),
+                         TraceEvent(1.5, 2, 3, 7, "coll", count=2)]
+        path = str(tmp_path / "m.trace")
+        tracer.dump(path)
+        first = open(path).readline()
+        assert f"schema={MessageTracer.SCHEMA}" in first
+        back = MessageTracer.load(path)
+        assert back.events == tracer.events
+
+        mangled = str(tmp_path / "m2.trace")
+        open(mangled, "w").write(
+            open(path).read().replace(
+                f"schema={MessageTracer.SCHEMA}", "schema=99"))
+        with pytest.raises(TraceSchemaError):
+            MessageTracer.load(mangled)
+
+    def test_message_tracer_legacy_headerless_still_loads(self, tmp_path):
+        from repro.simmpi.trace import MessageTracer
+
+        path = str(tmp_path / "legacy.trace")
+        open(path, "w").write("0.1 0 1 64 p2p 1\n")
+        with pytest.warns(UserWarning, match="world_size"):
+            back = MessageTracer.load(path)
+        assert back.world_size == 2
+
+    def test_flush_profile_gate(self, tmp_path):
+        from repro.core.flushio import (PROFILE_SCHEMA, read_profile,
+                                        write_local_profile)
+
+        path = write_local_profile(
+            str(tmp_path / "p"), 0,
+            np.array([1, 2], dtype=np.uint64),
+            np.array([10, 20], dtype=np.uint64), 0)
+        assert f"schema={PROFILE_SCHEMA}" in open(path).readline()
+        prof = read_profile(path)
+        assert prof["kind"] == "local"
+        assert prof["data"].tolist() == [[0, 0, 1, 10], [0, 1, 2, 20]]
+
+        mangled = str(tmp_path / "p.bad.prof")
+        open(mangled, "w").write(
+            open(path).read().replace(f"schema={PROFILE_SCHEMA}",
+                                      "schema=99"))
+        with pytest.raises(TraceSchemaError):
+            read_profile(mangled)

@@ -1,0 +1,122 @@
+"""What-if search behaviour and the four CLI subcommands."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.placement.mapping import is_permutation
+from repro.replay.cli import BENCH_SCHEMA, main
+from repro.replay.search import STRATEGIES, what_if_search
+
+
+class TestWhatIfSearch:
+    def test_candidates_sorted_and_k_valid(self, fig5_trace):
+        res = what_if_search(fig5_trace)
+        assert [c.strategy for c in res.candidates[:1]] != []
+        spans = [c.makespan for c in res.candidates]
+        assert spans == sorted(spans)
+        assert set(c.strategy for c in res.candidates) == set(STRATEGIES)
+        assert is_permutation(res.k)
+        assert sorted(res.best.placement) == sorted(fig5_trace.binding)
+
+    def test_identity_candidate_reproduces_recording(self, fig5_trace):
+        res = what_if_search(fig5_trace, strategies=["identity"])
+        cand = res.candidates[0]
+        # Identity goes through the non-exact fast path, which tracks
+        # the recorded makespan to float-noise, not to the bit.
+        assert cand.makespan == pytest.approx(res.recorded_makespan,
+                                              rel=1e-9)
+        assert res.k.tolist() == list(range(fig5_trace.world_size))
+
+    def test_search_beats_recorded_placement(self, fig5_trace):
+        """The paper's premise on this workload: the monitored matrix
+        admits a better-than-recorded placement."""
+        res = what_if_search(fig5_trace)
+        assert res.best.makespan < res.recorded_makespan
+        assert res.speedup > 1.0
+
+    def test_unknown_strategy_rejected(self, fig5_trace):
+        with pytest.raises(ValueError, match="unknown search strategy"):
+            what_if_search(fig5_trace, strategies=["identity", "bogus"])
+
+    def test_substitution_composes(self, fig5_trace):
+        res = what_if_search(fig5_trace, strategies=["identity", "treematch"],
+                             substitute={"bcast": "chain"})
+        assert len(res.candidates) == 2
+        assert res.meta["substitute"] == {"bcast": "chain"}
+
+
+@pytest.fixture(scope="module")
+def recorded_cell(tmp_path_factory):
+    """A small fig5 cell recorded through the CLI."""
+    path = str(tmp_path_factory.mktemp("cli") / "cell.trace")
+    rc = main(["record", "-o", path, "--op", "reduce", "--nodes", "2",
+               "--sizes", "200000", "--reps", "1", "--seed", "0"])
+    assert rc == 0
+    return path
+
+
+class TestCli:
+    def test_replay_verify_identity(self, recorded_cell, capsys):
+        assert main(["replay", recorded_cell, "--verify"]) == 0
+        assert "exact" in capsys.readouterr().out
+
+    def test_replay_json_swap(self, recorded_cell, tmp_path):
+        out = str(tmp_path / "replay.json")
+        assert main(["replay", recorded_cell, "--swap-pus", "0", "24",
+                     "--json", out]) == 0
+        doc = json.loads(open(out).read())
+        assert doc["exact"] is False
+        assert doc["makespan"] > 0
+
+    def test_search_writes_bench(self, recorded_cell, tmp_path, capsys):
+        bench = str(tmp_path / "BENCH.json")
+        assert main(["search", recorded_cell,
+                     "--strategies", "treematch,greedy,local",
+                     "--bench", bench]) == 0
+        doc = json.loads(open(bench).read())
+        assert doc["schema"] == BENCH_SCHEMA
+        assert doc["workload"] == "fig5"
+        assert set(doc["strategies"]) == {"treematch", "greedy", "local"}
+        for side in ("replay_search", "live_rerun"):
+            assert doc[side]["total_wall_seconds"] > 0
+            assert set(doc[side]["per_strategy"]) == set(doc["strategies"])
+        assert doc["speedup"] == pytest.approx(
+            doc["live_rerun"]["total_wall_seconds"]
+            / doc["replay_search"]["total_wall_seconds"])
+
+    def test_diff_identical_traces(self, recorded_cell, capsys):
+        assert main(["diff", recorded_cell, recorded_cell]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_diff_substitution_differs(self, recorded_cell, capsys):
+        rc = main(["diff", recorded_cell, recorded_cell,
+                   "--substitute", "reduce=flat"])
+        assert rc == 1
+
+    def test_search_json_mode(self, recorded_cell, tmp_path):
+        out = str(tmp_path / "search.json")
+        assert main(["search", recorded_cell,
+                     "--strategies", "identity,treematch",
+                     "--json", out]) == 0
+        doc = json.loads(open(out).read())
+        assert [c["strategy"] for c in doc["candidates"]]
+        assert is_permutation(doc["k"])
+
+
+class TestRecorderGating:
+    def test_no_recording_outside_capture(self):
+        from repro.replay import autorecord
+        from repro.simmpi import Cluster, Engine
+
+        assert not autorecord.is_recording()
+        engine = Engine(Cluster.plafrim(2, binding="rr"), seed=0)
+        assert engine._rr is None
+
+    def test_reentry_rejected(self):
+        from repro.replay import autorecord
+
+        with autorecord.capture():
+            with pytest.raises(RuntimeError):
+                autorecord.enable_to("/tmp/never.trace")

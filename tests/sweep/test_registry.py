@@ -10,7 +10,7 @@ from repro.sweep.cache import canonical_dumps
 from repro.sweep.registry import (SCENARIOS, SweepConfig, cell_id,
                                   compute_cell, get_scenario, scenario_names)
 
-VISIBLE = ["fig2", "fig4", "fig5", "fig6", "fig7", "table1"]
+VISIBLE = ["fig2", "fig4", "fig5", "fig6", "fig7", "table1", "whatif"]
 
 
 class TestNames:

@@ -51,7 +51,8 @@ class TestRunSweep:
 
     def test_hidden_scenario_needs_explicit_filter(self):
         assert runner.select_cells(None, SweepConfig(smoke=True)) == [
-            c for c in runner.select_cells("fig|table", SweepConfig(smoke=True))
+            c for c in runner.select_cells("fig|table|whatif",
+                                           SweepConfig(smoke=True))
         ]
         assert all(c["scenario"] != "selftest"
                    for c in runner.select_cells(None, SweepConfig(smoke=True)))

@@ -1,0 +1,60 @@
+"""The console scripts in pyproject.toml and the ``python -m`` CLIs
+must be the same code: each ``repro-*`` entry point has to resolve to
+the exact ``main`` callable the corresponding ``__main__`` module runs,
+so the two spellings can never drift apart.
+"""
+
+import importlib
+import pathlib
+import re
+
+import pytest
+
+PYPROJECT = pathlib.Path(__file__).resolve().parent.parent / "pyproject.toml"
+
+#: console script -> the module whose ``python -m`` spelling it mirrors
+EXPECTED = {
+    "repro-sweep": "repro.sweep",
+    "repro-obs": "repro.obs",
+    "repro-replay": "repro.replay",
+}
+
+
+def _scripts() -> dict:
+    text = PYPROJECT.read_text(encoding="utf-8")
+    try:
+        import tomllib
+    except ImportError:  # pragma: no cover - py3.10
+        section = re.search(
+            r"\[project\.scripts\](.*?)(?:\n\[|\Z)", text, re.S)
+        assert section, "pyproject.toml lacks [project.scripts]"
+        return dict(re.findall(r'([\w-]+)\s*=\s*"([^"]+)"', section.group(1)))
+    return tomllib.loads(text)["project"]["scripts"]
+
+
+def test_scripts_table_lists_all_clis():
+    assert set(_scripts()) == set(EXPECTED)
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED))
+def test_script_matches_python_m(script):
+    target = _scripts()[script]
+    mod_name, func_name = target.split(":")
+    entry = getattr(importlib.import_module(mod_name), func_name)
+    assert callable(entry)
+    # The -m path: repro.<pkg>.__main__ imports `main` and calls it.
+    dunder = importlib.import_module(EXPECTED[script] + ".__main__")
+    assert dunder.main is entry, (
+        f"{script} runs {target} but python -m {EXPECTED[script]} runs "
+        f"{dunder.main.__module__}.{dunder.main.__qualname__}")
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED))
+def test_entry_point_smoke_help(script, capsys):
+    """Every entry point prints usage and exits 0 on --help."""
+    mod_name, func_name = _scripts()[script].split(":")
+    entry = getattr(importlib.import_module(mod_name), func_name)
+    with pytest.raises(SystemExit) as exc:
+        entry(["--help"])
+    assert exc.value.code == 0
+    assert "usage" in capsys.readouterr().out.lower()
