@@ -1,0 +1,90 @@
+"""Bench: event-driven engine core vs. thread-per-rank (A/B + scale).
+
+Three claims, each measured on the spot (the committed artifact
+``BENCH_engine.json`` holds the cold fresh-process numbers; this suite
+re-derives the same shapes in-process so CI exercises them on every
+push):
+
+* the fig5 cell runs on both cores and the points are **bit-identical**
+  — the wall-clock difference is pure scheduling overhead;
+* the per-switch price of a generator resume is a multiple below an OS
+  baton pass (the handoff microbench);
+* the event core starts and finishes worlds the threaded core cannot:
+  the default scale rank count is 1024 (seconds); ``REPRO_FULL=1``
+  raises it to 4096 and adds a 10240-rank point, the paper-scale curve
+  behind the "10k-rank worlds" headline.
+
+Run with ``--benchmark-disable`` for a plain smoke test (CI does).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.experiments import engine_bench
+
+_FULL = os.environ.get("REPRO_FULL", "") not in ("", "0")
+_CELL_SIZES = (1_000_000, 5_000_000) if not _FULL else engine_bench.CELL_SIZES
+_SCALE_RANKS = (1024,) if not _FULL else (4096, 10240)
+
+_digests = {}
+
+
+@pytest.mark.parametrize("core", ["threads", "eventloop"])
+@pytest.mark.parametrize("n_ranks", [16, 64])
+def test_fig5_cell(benchmark, core, n_ranks):
+    rec = once(benchmark, engine_bench.fig5_cell, core, n_ranks,
+               sizes=_CELL_SIZES)
+    assert rec["messages"] > 0
+    # The event core's resumes are its switches — the degenerate pair
+    # is the bit-exactness invariant surfaced as a counter.
+    assert rec["resumes"] == rec["switches"]
+    # Cross-core bit-identity: both cores must produce the same points.
+    other = _digests.setdefault(n_ranks, rec["result_digest"])
+    assert rec["result_digest"] == other, \
+        f"cores disagree at {n_ranks} ranks"
+    print(f"\nfig5[{core} @ {n_ranks}]: {rec['wall_seconds']:.3f}s, "
+          f"{rec['switches']} switches, {rec['messages']} messages")
+
+
+@pytest.mark.parametrize("core", ["threads", "eventloop"])
+def test_per_switch_handoff(benchmark, core):
+    rec = once(benchmark, engine_bench.handoff, core, iters=20_000)
+    assert rec["switches"] > 20_000
+    print(f"\nhandoff[{core}]: "
+          f"{rec['seconds_per_switch'] * 1e6:.2f}us/switch "
+          f"({rec['switches']} switches)")
+
+
+def test_handoff_switch_counts_match():
+    """The per-switch comparison is only meaningful if both cores do
+    the same number of switches for the same program."""
+    a = engine_bench.handoff("threads", iters=2_000)
+    b = engine_bench.handoff("eventloop", iters=2_000)
+    assert a["switches"] == b["switches"]
+
+
+@pytest.mark.parametrize("n_ranks", _SCALE_RANKS)
+def test_eventloop_scale_world(benchmark, n_ranks):
+    rec = once(benchmark, engine_bench.scale_world, n_ranks)
+    assert rec["resumes"] > 0
+    assert rec["messages"] > 0
+    print(f"\nscale[{n_ranks}]: build {rec['build_seconds']:.3f}s, "
+          f"run {rec['wall_seconds']:.3f}s, {rec['resumes']} resumes, "
+          f"rss {rec['max_rss_kb'] // 1024}MB")
+
+
+def test_committed_artifact_is_sound():
+    """BENCH_engine.json (committed at the repo root) passes the same
+    validation CI applies to freshly generated artifacts."""
+    import json
+
+    path = os.path.join(os.path.dirname(__file__), "..", "BENCH_engine.json")
+    with open(path) as fh:
+        doc = json.load(fh)
+    errors = engine_bench.verify_artifact(doc)
+    assert not errors, errors
+    assert all(row["result_digest_match"] for row in doc["fig5_cell"])

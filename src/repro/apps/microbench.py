@@ -18,10 +18,15 @@ import numpy as np
 from repro.core import api as mapi
 from repro.core.constants import Flags, MPI_M_DATA_IGNORE
 from repro.core.errors import raise_for_code
-from repro.placement.reorder import reorder_from_matrix
+from repro.placement.reorder import co_reorder_from_matrix
+from repro.simmpi.engine import _drive
 from repro.simmpi.op import MAX
 
-__all__ = ["collective_kernel", "grouped_allgather_benchmark", "GroupBenchResult"]
+__all__ = [
+    "collective_kernel", "co_collective_kernel",
+    "grouped_allgather_benchmark", "co_grouped_allgather_benchmark",
+    "GroupBenchResult",
+]
 
 
 def collective_kernel(comm, op: str, n_ints: int, root: int = 0,
@@ -33,18 +38,25 @@ def collective_kernel(comm, op: str, n_ints: int, root: int = 0,
     The buffer is ``n_ints`` 4-byte integers, abstract (never
     allocated: the paper goes up to 2·10⁸ ints = 800 MB).
     """
+    return _drive(co_collective_kernel(comm, op, n_ints, root, algorithm))
+
+
+def co_collective_kernel(comm, op: str, n_ints: int, root: int = 0,
+                         algorithm: Optional[str] = None):
+    """Resumable :func:`collective_kernel` (the canonical body)."""
     nbytes = 4 * n_ints
-    t0 = comm.time
+    t0 = yield from comm.co_time()
     if op == "reduce":
-        comm.reduce(None, MAX, root=root, nbytes=nbytes,
-                    algorithm=algorithm or "binary")
+        yield from comm.co_reduce(None, MAX, root=root, nbytes=nbytes,
+                                  algorithm=algorithm or "binary")
     elif op == "bcast":
-        comm.bcast(None, root=root,
-                   nbytes=nbytes if comm.rank == root else None,
-                   algorithm=algorithm or "binomial")
+        yield from comm.co_bcast(None, root=root,
+                                 nbytes=nbytes if comm.rank == root else None,
+                                 algorithm=algorithm or "binomial")
     else:
         raise ValueError(f"unknown collective {op!r}")
-    return comm.time - t0
+    t1 = yield from comm.co_time()
+    return t1 - t0
 
 
 @dataclass
@@ -66,11 +78,16 @@ class GroupBenchResult:
 
 
 def _allgather_loop(comm, n_ints: int, iterations: int) -> float:
+    return _drive(_co_allgather_loop(comm, n_ints, iterations))
+
+
+def _co_allgather_loop(comm, n_ints: int, iterations: int):
     nbytes = 4 * n_ints
-    t0 = comm.time
+    t0 = yield from comm.co_time()
     for _ in range(iterations):
-        comm.allgather(None, nbytes=nbytes, algorithm="ring")
-    return comm.time - t0
+        yield from comm.co_allgather(None, nbytes=nbytes, algorithm="ring")
+    t1 = yield from comm.co_time()
+    return t1 - t0
 
 
 def grouped_allgather_benchmark(
@@ -94,10 +111,30 @@ def grouped_allgather_benchmark(
     time is scaled to ``iterations``, which is exact for this perfectly
     periodic workload (see DESIGN.md §6).
     """
+    return _drive(co_grouped_allgather_benchmark(
+        comm, group_size, n_ints, iterations,
+        manage_env=manage_env, measure_iterations=measure_iterations,
+    ))
+
+
+def co_grouped_allgather_benchmark(
+    comm,
+    group_size: int,
+    n_ints: int,
+    iterations: int,
+    manage_env: bool = True,
+    measure_iterations: Optional[int] = None,
+):
+    """Resumable :func:`grouped_allgather_benchmark` (the canonical body).
+
+    The monitoring API calls stay the plain blocking ones — they are
+    local, and the ``co_sync`` before each one settles any deferred
+    send so their internal pvar-read settles no-op (DESIGN.md §4.5).
+    """
     if comm.size % group_size:
         raise ValueError(f"{comm.size} ranks not divisible into groups of {group_size}")
     me = comm.rank
-    group = comm.split(color=me // group_size, key=me % group_size)
+    group = yield from comm.co_split(color=me // group_size, key=me % group_size)
 
     sim_iters = measure_iterations if measure_iterations is not None else min(
         iterations, 30
@@ -106,29 +143,34 @@ def grouped_allgather_benchmark(
     scale = iterations / sim_iters
 
     if manage_env:
+        yield from comm.co_sync()
         raise_for_code(mapi.mpi_m_init())
 
     # Phase 1: the un-reordered loop.
-    t1 = _allgather_loop(group, n_ints, sim_iters) * scale
+    t1 = (yield from _co_allgather_loop(group, n_ints, sim_iters)) * scale
 
     # Phase 2: monitor one iteration, gather the matrix, reorder.
-    t2_start = comm.time
+    t2_start = yield from comm.co_time()
+    yield from comm.co_sync()
     err, msid = mapi.mpi_m_start(group)
     raise_for_code(err)
-    _allgather_loop(group, n_ints, 1)
+    yield from _co_allgather_loop(group, n_ints, 1)
+    yield from comm.co_sync()
     raise_for_code(mapi.mpi_m_suspend(msid))
-    err, _, size_mat = mapi.mpi_m_rootgather_data(
+    err, _, size_mat = yield from mapi.co_mpi_m_rootgather_data(
         msid, 0, MPI_M_DATA_IGNORE, None, Flags.ALL_COMM
     )
     raise_for_code(err)
+    yield from comm.co_sync()
     raise_for_code(mapi.mpi_m_free(msid))
-    opt_group, _k = reorder_from_matrix(group, size_mat)
-    t2 = comm.time - t2_start
+    opt_group, _k = yield from co_reorder_from_matrix(group, size_mat)
+    t2 = (yield from comm.co_time()) - t2_start
 
     # Phase 3: the reordered loop.
-    t3 = _allgather_loop(opt_group, n_ints, sim_iters) * scale
+    t3 = (yield from _co_allgather_loop(opt_group, n_ints, sim_iters)) * scale
 
     if manage_env:
+        yield from comm.co_sync()
         raise_for_code(mapi.mpi_m_finalize())
     return GroupBenchResult(
         t1=t1, t2=t2, t3=t3, group_rank=group.rank, group_size=group.size

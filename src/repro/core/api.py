@@ -57,7 +57,29 @@ __all__ = [
     "mpi_m_rootgather_data",
     "mpi_m_flush",
     "mpi_m_rootflush",
+    "co_mpi_m_allgather_data",
+    "co_mpi_m_rootgather_data",
+    "co_mpi_m_rootflush",
 ]
+
+
+# Number of output tuple members per call (beyond the error code),
+# used to pad error returns; co_ variants share the blocking entry.
+_N_OUT = {
+    "mpi_m_start": 1,
+    "mpi_m_get_info": 2,
+    "mpi_m_get_data": 2,
+    "mpi_m_allgather_data": 2,
+    "mpi_m_rootgather_data": 2,
+}
+
+
+def _pad(f, code):
+    name = f.__name__
+    if name.startswith("co_"):
+        name = name[3:]
+    n = _N_OUT.get(name, 0)
+    return (code, *([None] * n)) if n else code
 
 
 def _guard(fn):
@@ -73,17 +95,24 @@ def _guard(fn):
         except OSError:
             return _pad(fn, ErrorCode.MPI_M_INTERNAL_FAIL)
 
-    _N_OUT = {
-        "mpi_m_start": 1,
-        "mpi_m_get_info": 2,
-        "mpi_m_get_data": 2,
-        "mpi_m_allgather_data": 2,
-        "mpi_m_rootgather_data": 2,
-    }
+    wrapper.__name__ = fn.__name__
+    wrapper.__doc__ = fn.__doc__
+    wrapper.__wrapped__ = fn
+    return wrapper
 
-    def _pad(f, code):
-        n = _N_OUT.get(f.__name__, 0)
-        return (code, *([None] * n)) if n else code
+
+def _co_guard(fn):
+    """:func:`_guard` for resumable (generator) API functions."""
+
+    def wrapper(*args, **kwargs):
+        try:
+            return (yield from fn(*args, **kwargs))
+        except MonitoringError as exc:
+            return _pad(fn, exc.code)
+        except MpitError:
+            return _pad(fn, ErrorCode.MPI_M_MPIT_FAIL)
+        except OSError:
+            return _pad(fn, ErrorCode.MPI_M_INTERNAL_FAIL)
 
     wrapper.__name__ = fn.__name__
     wrapper.__doc__ = fn.__doc__
@@ -271,6 +300,73 @@ def mpi_m_rootgather_data(msid, root, matrix_counts=None, matrix_sizes=None,
     cmat = np.concatenate([r[0] for r in rows]).astype(np.uint64)
     smat = np.concatenate([r[1] for r in rows]).astype(np.uint64)
     return MPI_SUCCESS, _fill(matrix_counts, cmat), _fill(matrix_sizes, smat)
+
+
+# ---------------------------------------------------------------------------
+# resumable variants of the communicating accessors
+#
+# The purely local calls (init/start/suspend/...) never need to park as
+# long as the caller's deferred send is settled first — co rank
+# programs do that with ``yield from comm.co_sync()`` and then call the
+# blocking functions directly.  The accessors below really communicate
+# (allgather/gather over the session's communicator), so they get co
+# twins whose engine call sequence matches the blocking ones exactly.
+
+
+@_co_guard
+def co_mpi_m_allgather_data(msid, matrix_counts=None, matrix_sizes=None,
+                            flags=Flags.ALL_COMM):
+    """Resumable :func:`mpi_m_allgather_data`."""
+    rt = MonitoringRuntime.of(current_process())
+    _no_all_msid(msid)
+    session = rt.lookup(msid)
+    yield from session.comm.co_sync()
+    counts, sizes = session.data(flags)
+    rows = yield from session.comm.co_allgather((counts, sizes))
+    n = session.comm.size
+    cmat = np.concatenate([r[0] for r in rows]).astype(np.uint64)
+    smat = np.concatenate([r[1] for r in rows]).astype(np.uint64)
+    assert cmat.size == n * n and smat.size == n * n
+    return MPI_SUCCESS, _fill(matrix_counts, cmat), _fill(matrix_sizes, smat)
+
+
+@_co_guard
+def co_mpi_m_rootgather_data(msid, root, matrix_counts=None,
+                             matrix_sizes=None, flags=Flags.ALL_COMM):
+    """Resumable :func:`mpi_m_rootgather_data`."""
+    rt = MonitoringRuntime.of(current_process())
+    _no_all_msid(msid)
+    session = rt.lookup(msid)
+    if not isinstance(root, (int, np.integer)) or not 0 <= root < session.comm.size:
+        raise InvalidRoot(f"root {root!r} not in [0, {session.comm.size})")
+    yield from session.comm.co_sync()
+    counts, sizes = session.data(flags)
+    rows = yield from session.comm.co_gather((counts, sizes), root=int(root))
+    if session.comm.rank != root:
+        return MPI_SUCCESS, None, None
+    cmat = np.concatenate([r[0] for r in rows]).astype(np.uint64)
+    smat = np.concatenate([r[1] for r in rows]).astype(np.uint64)
+    return MPI_SUCCESS, _fill(matrix_counts, cmat), _fill(matrix_sizes, smat)
+
+
+@_co_guard
+def co_mpi_m_rootflush(msid, root, filename: str, flags=Flags.ALL_COMM):
+    """Resumable :func:`mpi_m_rootflush`."""
+    rt = MonitoringRuntime.of(current_process())
+    _no_all_msid(msid)
+    session = rt.lookup(msid)
+    if not isinstance(root, (int, np.integer)) or not 0 <= root < session.comm.size:
+        raise InvalidRoot(f"root {root!r} not in [0, {session.comm.size})")
+    yield from session.comm.co_sync()
+    counts, sizes = session.data(flags)
+    rows = yield from session.comm.co_gather((counts, sizes), root=int(root))
+    if session.comm.rank == int(root):
+        n = session.comm.size
+        cmat = np.stack([r[0] for r in rows]).astype(np.uint64).reshape(n, n)
+        smat = np.stack([r[1] for r in rows]).astype(np.uint64).reshape(n, n)
+        world_rank = session.comm.world_rank(int(root))
+        write_root_profiles(filename, world_rank, cmat, smat, flags)
+    return MPI_SUCCESS
 
 
 # ---------------------------------------------------------------------------

@@ -75,6 +75,27 @@ def _measure(comm, op: str, n_ints: int, reps: int = 3) -> float:
     return float(comm.allreduce(np.float64(local), MAXOP))
 
 
+def _co_measure(comm, op: str, n_ints: int, reps: int = 3):
+    """Resumable twin of :func:`_measure` (same call sequence, co_*
+    spellings) for event-driven-core cells."""
+    from repro.apps.microbench import co_collective_kernel
+
+    times = []
+    for _ in range(reps):
+        yield from comm.co_barrier()
+        t = yield from co_collective_kernel(comm, op, n_ints)
+        times.append(t)
+    local = times[0] if len(times) == 1 else float(np.median(times))
+    from repro.simmpi.op import MAX as MAXOP
+
+    if op == "reduce":
+        val = yield from comm.co_bcast(
+            np.float64(local) if comm.rank == 0 else None, root=0)
+        return float(val)
+    res = yield from comm.co_allreduce(np.float64(local), MAXOP)
+    return float(res)
+
+
 def run_cell(
     op: str,
     n_nodes: int,
@@ -82,6 +103,7 @@ def run_cell(
     reps: int = 3,
     seed: int = 0,
     engine: Optional[Engine] = None,
+    core: str = "threads",
 ) -> List[CollectivePoint]:
     """One Fig. 5 cell: a single (op, node count) engine run covering
     the whole buffer-size sweep.  The monitoring + reordering step is
@@ -91,12 +113,16 @@ def run_cell(
 
     ``engine`` lets a caller supply a pre-built (e.g. instrumented)
     Engine for ``n_nodes`` PlaFRIM nodes; by default the cell builds
-    its own."""
+    its own.  ``core`` selects the engine core for the default-built
+    engine (``"threads"`` or ``"eventloop"``); a supplied engine's own
+    core wins.  Both cores produce bit-identical points — the
+    event-driven spelling mirrors the threaded program line for line
+    under the co_* API."""
     if sizes is None:
         sizes = FULL_SIZES if full_scale() else DEFAULT_SIZES
     if engine is None:
         cluster = Cluster.plafrim(n_nodes, binding="rr")
-        engine = Engine(cluster, seed=seed)
+        engine = Engine(cluster, seed=seed, core=core)
     else:
         cluster = engine.cluster
 
@@ -123,7 +149,41 @@ def run_cell(
             out.append(("reord", n_ints, _measure(opt, op, n_ints, reps)))
         return out
 
-    results = engine.run(program)
+    def co_program(comm):
+        # Event-driven spelling of ``program``, one continuation per
+        # rank.  The co_sync calls before the plain (blocking)
+        # monitoring-API calls are the settle-idempotence discipline of
+        # DESIGN.md §4.5: with the deferred send already settled, the
+        # blocking call's internal settle no-ops and it runs park-free
+        # inside the continuation.
+        from repro.apps.microbench import co_collective_kernel
+        from repro.placement.reorder import co_reorder_from_matrix
+
+        out = []
+        for n_ints in sizes:
+            t = yield from _co_measure(comm, op, n_ints, reps)
+            out.append(("base", n_ints, t))
+        yield from comm.co_sync()
+        raise_for_code(mapi.mpi_m_init())
+        err, msid = mapi.mpi_m_start(comm)
+        raise_for_code(err)
+        yield from co_collective_kernel(comm, op, sizes[0])
+        yield from comm.co_sync()
+        raise_for_code(mapi.mpi_m_suspend(msid))
+        err, _, size_mat = yield from mapi.co_mpi_m_rootgather_data(
+            msid, 0, MPI_M_DATA_IGNORE, None, Flags.COLL_ONLY
+        )
+        raise_for_code(err)
+        yield from comm.co_sync()
+        raise_for_code(mapi.mpi_m_free(msid))
+        raise_for_code(mapi.mpi_m_finalize())
+        opt, _k = yield from co_reorder_from_matrix(comm, size_mat)
+        for n_ints in sizes:
+            t = yield from _co_measure(opt, op, n_ints, reps)
+            out.append(("reord", n_ints, t))
+        return out
+
+    results = engine.run(co_program if engine.core == "eventloop" else program)
     rows = results[0]
     base = {n: t for kind, n, t in rows if kind == "base"}
     reord = {n: t for kind, n, t in rows if kind == "reord"}

@@ -108,6 +108,16 @@ class EngineObserver:
         net = eng.network
         reg.counter("repro_engine_runs_total").inc()
         reg.counter("repro_engine_context_switches_total").inc(eng._switches)
+        # Paired with context_switches_total: on the event-driven core
+        # each "switch" is a generator resume on the scheduler thread;
+        # on the threaded core the pair is degenerate (resumes ==
+        # switches by definition).  Divergence between the two counters
+        # on an event run would mean the scheduler resumed a rank
+        # outside the baton order — the bit-exactness invariant.
+        reg.counter("repro_engine_resumes_total").inc(eng.resumes)
+        if eng.max_clock > 0:
+            reg.gauge("repro_engine_resumes_per_virtual_second").set_max(
+                eng.resumes / eng.max_clock)
         reg.counter("repro_engine_messages_total").inc(net.n_messages)
         reg.counter("repro_engine_deferred_sends_total").inc(eng._qseq)
         reg.counter("repro_engine_handoffs_elided_total",

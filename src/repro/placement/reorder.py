@@ -37,7 +37,9 @@ __all__ = [
     "treematch_model_seconds",
     "compute_mapping",
     "reorder_from_matrix",
+    "co_reorder_from_matrix",
     "redistribute_data",
+    "co_redistribute_data",
     "reorder_iterative",
 ]
 
@@ -98,6 +100,32 @@ def reorder_from_matrix(
     return opt_comm, k
 
 
+def co_reorder_from_matrix(
+    comm,
+    size_mat: Optional[np.ndarray],
+    charge_mapping_time: bool = True,
+):
+    """Resumable :func:`reorder_from_matrix` for co rank programs."""
+    me = comm.rank
+    rec = comm.engine._obs_spans
+    proc = comm._current() if rec is not None else None
+    with virtual_span(rec, proc, "reorder.from_matrix"):
+        if me == 0:
+            if size_mat is None:
+                raise ValueError("rank 0 must supply the gathered size matrix")
+            with virtual_span(rec, proc, "treematch.compute_mapping",
+                              {"n": comm.size}):
+                k = compute_mapping(size_mat, comm.engine.cluster, comm.group)
+                if charge_mapping_time:
+                    yield from comm.co_compute(treematch_model_seconds(comm.size))
+            k = np.asarray(k, dtype=np.int32)
+        else:
+            k = None
+        k = yield from comm.co_bcast(k, root=0)
+        opt_comm = yield from comm.co_split(0, int(k[me]))
+    return opt_comm, k
+
+
 def redistribute_data(comm, k: np.ndarray, payload=None, nbytes: int = 0) -> object:
     """Line 12 of Fig. 1: move each logical rank's data to its new owner.
 
@@ -119,6 +147,25 @@ def redistribute_data(comm, k: np.ndarray, payload=None, nbytes: int = 0) -> obj
         comm.isend(payload, dest=send_to, tag=4242, nbytes=nbytes if payload is None else None)
     if req is not None:
         return req.wait().payload
+    return payload
+
+
+def co_redistribute_data(comm, k: np.ndarray, payload=None, nbytes: int = 0):
+    """Resumable :func:`redistribute_data` for co rank programs."""
+    k = np.asarray(k, dtype=np.intp)
+    me = comm.rank
+    inv = invert_permutation(k)
+    send_to = int(inv[me])
+    recv_from = int(k[me])
+    if send_to == me and recv_from == me:
+        return payload
+    req = comm.irecv(source=recv_from, tag=4242) if recv_from != me else None
+    if send_to != me:
+        yield from comm.co_isend(payload, dest=send_to, tag=4242,
+                                 nbytes=nbytes if payload is None else None)
+    if req is not None:
+        msg = yield from req.co_wait()
+        return msg.payload
     return payload
 
 

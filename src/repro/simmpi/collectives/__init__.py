@@ -9,13 +9,18 @@ tree of sends, not as one opaque API call.
 Each module offers several algorithms (mirroring Open MPI's tuned
 collective component); the paper's experiments use the binomial-tree
 broadcast and the in-order binary-tree reduce (Fig. 5 captions).
+
+Every collective exists in two spellings sharing one implementation:
+the resumable ``co_*`` generator (canonical — the event-driven
+engine's yield protocol) and the blocking name, which drives the
+generator to completion on the calling thread.
 """
 
-from repro.simmpi.collectives.barrier import barrier  # noqa: F401
-from repro.simmpi.collectives.bcast import bcast  # noqa: F401
-from repro.simmpi.collectives.reduce import reduce  # noqa: F401
-from repro.simmpi.collectives.allreduce import allreduce  # noqa: F401
-from repro.simmpi.collectives.gather import gather  # noqa: F401
-from repro.simmpi.collectives.scatter import scatter  # noqa: F401
-from repro.simmpi.collectives.allgather import allgather  # noqa: F401
-from repro.simmpi.collectives.alltoall import alltoall  # noqa: F401
+from repro.simmpi.collectives.barrier import barrier, co_barrier  # noqa: F401
+from repro.simmpi.collectives.bcast import bcast, co_bcast  # noqa: F401
+from repro.simmpi.collectives.reduce import reduce, co_reduce  # noqa: F401
+from repro.simmpi.collectives.allreduce import allreduce, co_allreduce  # noqa: F401
+from repro.simmpi.collectives.gather import gather, co_gather  # noqa: F401
+from repro.simmpi.collectives.scatter import scatter, co_scatter  # noqa: F401
+from repro.simmpi.collectives.allgather import allgather, co_allgather  # noqa: F401
+from repro.simmpi.collectives.alltoall import alltoall, co_alltoall  # noqa: F401

@@ -2,6 +2,10 @@
 
 Used by the paper's §6.4 micro-benchmark, where groups of ranks
 allgather every iteration and reordering restores data locality.
+
+The decompositions are written once as resumable ``co_`` generators;
+the blocking entry point drives them to completion (see barrier.py for
+the pattern).
 """
 
 from __future__ import annotations
@@ -10,9 +14,10 @@ from typing import Any, Dict, List, Optional
 
 from repro.simmpi.collectives.util import as_buffer, is_pow2, unwrap
 from repro.simmpi.datatypes import Buffer
+from repro.simmpi.engine import _drive
 from repro.simmpi.errorsim import CommError
 
-__all__ = ["allgather", "ALGORITHMS"]
+__all__ = ["allgather", "co_allgather", "ALGORITHMS"]
 
 ALGORITHMS = ("ring", "recursive_doubling", "bruck", "gather_bcast")
 
@@ -25,6 +30,16 @@ def allgather(
 ) -> List[Any]:
     """Gather every rank's ``value``; all ranks return the full list,
     indexed by rank."""
+    return _drive(co_allgather(comm, value, nbytes, algorithm))
+
+
+def co_allgather(
+    comm,
+    value: Any,
+    nbytes: Optional[int] = None,
+    algorithm: Optional[str] = None,
+):
+    """Resumable :func:`allgather`."""
     if algorithm is None:
         algorithm = "recursive_doubling" if is_pow2(comm.size) else "ring"
     if algorithm not in ALGORITHMS:
@@ -37,13 +52,13 @@ def allgather(
         return [unwrap(buf)]
 
     if algorithm == "ring":
-        pieces = _ring(comm, buf, ctx)
+        pieces = yield from _ring(comm, buf, ctx)
     elif algorithm == "recursive_doubling":
-        pieces = _recursive_doubling(comm, buf, ctx)
+        pieces = yield from _recursive_doubling(comm, buf, ctx)
     elif algorithm == "bruck":
-        pieces = _bruck(comm, buf, ctx)
+        pieces = yield from _bruck(comm, buf, ctx)
     else:
-        pieces = _gather_bcast(comm, buf, ctx)
+        pieces = yield from _gather_bcast(comm, buf, ctx)
     return [unwrap(pieces[r]) for r in range(comm.size)]
 
 
@@ -58,7 +73,7 @@ def _piece_message(pieces: Dict[int, Buffer]) -> Buffer:
     return Buffer(dict(pieces), nbytes=total)
 
 
-def _ring(comm, buf: Buffer, ctx) -> Dict[int, Buffer]:
+def _ring(comm, buf: Buffer, ctx):
     me, size = comm.rank, comm.size
     right = (me + 1) % size
     left = (me - 1) % size
@@ -70,30 +85,30 @@ def _ring(comm, buf: Buffer, ctx) -> Dict[int, Buffer]:
     forward = me
     for step in range(size - 1):
         req = comm._irecv(left, step, ctx)
-        comm._isend(pieces[forward], right, step, ctx, "coll", batch)
-        msg = req.wait()
+        yield from comm._co_isend(pieces[forward], right, step, ctx, "coll", batch)
+        msg = yield from req.co_wait()
         incoming = (left - step) % size  # origin of the piece at this step
         pieces[incoming] = msg.buf
         forward = incoming
-    comm._close_peer_batch(batch)
+    yield from comm._co_close_peer_batch(batch)
     return pieces
 
 
-def _recursive_doubling(comm, buf: Buffer, ctx) -> Dict[int, Buffer]:
+def _recursive_doubling(comm, buf: Buffer, ctx):
     me, size = comm.rank, comm.size
     pieces: Dict[int, Buffer] = {me: buf}
     mask = 1
     while mask < size:
         peer = me ^ mask
         req = comm._irecv(peer, mask, ctx)
-        comm._isend(_piece_message(pieces), peer, mask, ctx, "coll")
-        msg = req.wait()
+        yield from comm._co_isend(_piece_message(pieces), peer, mask, ctx, "coll")
+        msg = yield from req.co_wait()
         pieces.update(msg.payload)
         mask <<= 1
     return pieces
 
 
-def _bruck(comm, buf: Buffer, ctx) -> Dict[int, Buffer]:
+def _bruck(comm, buf: Buffer, ctx):
     """Bruck's algorithm: ⌈log₂ p⌉ rounds for *any* communicator size.
 
     Round k: send the pieces accumulated so far to ``rank - 2^k`` and
@@ -113,25 +128,25 @@ def _bruck(comm, buf: Buffer, ctx) -> Dict[int, Buffer]:
         window = [(me + j) % size for j in range(min(dist, size))]
         tosend = {r: pieces[r] for r in window if r in pieces}
         req = comm._irecv(src, k, ctx)
-        comm._isend(_piece_message(tosend), dst, k, ctx, "coll")
-        msg = req.wait()
+        yield from comm._co_isend(_piece_message(tosend), dst, k, ctx, "coll")
+        msg = yield from req.co_wait()
         pieces.update(msg.payload)
         k += 1
     assert len(pieces) == size
     return pieces
 
 
-def _gather_bcast(comm, buf: Buffer, ctx) -> Dict[int, Buffer]:
-    from repro.simmpi.collectives.bcast import bcast
-    from repro.simmpi.collectives.gather import gather
+def _gather_bcast(comm, buf: Buffer, ctx):
+    from repro.simmpi.collectives.bcast import co_bcast
+    from repro.simmpi.collectives.gather import co_gather
 
     me = comm.rank
-    gathered = gather(comm, buf, root=0)
+    gathered = yield from co_gather(comm, buf, root=0)
     if me == 0:
         table = {r: as_buffer(v) for r, v in enumerate(gathered)}
         packed = _piece_message(table)
     else:
         packed = None
-    result = bcast(comm, packed, root=0)
+    result = yield from co_bcast(comm, packed, root=0)
     payload = result.payload if isinstance(result, Buffer) else result
     return dict(payload)

@@ -2,6 +2,10 @@
 
 The default is recursive doubling for power-of-two communicators
 (log₂ p full-buffer exchanges) and reduce+bcast otherwise.
+
+The decompositions are written once as resumable ``co_`` generators;
+the blocking entry point drives them to completion (see barrier.py for
+the pattern).
 """
 
 from __future__ import annotations
@@ -9,10 +13,11 @@ from __future__ import annotations
 from typing import Any, Optional
 
 from repro.simmpi.collectives.util import as_buffer, is_pow2, unwrap
+from repro.simmpi.engine import _drive
 from repro.simmpi.errorsim import CommError
 from repro.simmpi.op import Op, combine
 
-__all__ = ["allreduce", "ALGORITHMS"]
+__all__ = ["allreduce", "co_allreduce", "ALGORITHMS"]
 
 ALGORITHMS = ("recursive_doubling", "reduce_bcast", "rabenseifner")
 
@@ -25,6 +30,17 @@ def allreduce(
     algorithm: Optional[str] = None,
 ) -> Any:
     """Reduce ``value`` across ranks; every rank returns the result."""
+    return _drive(co_allreduce(comm, value, op, nbytes, algorithm))
+
+
+def co_allreduce(
+    comm,
+    value: Any,
+    op: Op,
+    nbytes: Optional[int] = None,
+    algorithm: Optional[str] = None,
+):
+    """Resumable :func:`allreduce`."""
     if algorithm is None:
         algorithm = "recursive_doubling" if is_pow2(comm.size) else "reduce_bcast"
     if algorithm not in ALGORITHMS:
@@ -36,15 +52,16 @@ def allreduce(
         raise CommError("rabenseifner requires a power-of-two size")
 
     if algorithm == "reduce_bcast":
-        from repro.simmpi.collectives.bcast import bcast
-        from repro.simmpi.collectives.reduce import reduce as _reduce
+        from repro.simmpi.collectives.bcast import co_bcast
+        from repro.simmpi.collectives.reduce import co_reduce
 
-        partial = _reduce(comm, value, op, root=0, nbytes=nbytes)
-        return bcast(comm, partial, root=0,
-                     nbytes=nbytes if comm.rank == 0 else None)
+        partial = yield from co_reduce(comm, value, op, root=0, nbytes=nbytes)
+        return (yield from co_bcast(
+            comm, partial, root=0,
+            nbytes=nbytes if comm.rank == 0 else None))
 
     if algorithm == "rabenseifner":
-        from repro.simmpi.collectives.scan import reduce_scatter
+        from repro.simmpi.collectives.scan import co_reduce_scatter
 
         # Reduce-scatter + allgather: bandwidth-optimal (2·(p-1)/p · n
         # bytes per rank instead of log₂p · n).  Items are the vector
@@ -55,9 +72,9 @@ def allreduce(
         chunk = -(-buf.nbytes // size)
         if buf.payload is None:
             parts = [None] * size
-            mine = reduce_scatter(comm, parts, op, nbytes=chunk)
-            got = comm.allgather(mine if hasattr(mine, "nbytes") else None,
-                                 nbytes=chunk)
+            mine = yield from co_reduce_scatter(comm, parts, op, nbytes=chunk)
+            got = yield from comm.co_allgather(
+                mine if hasattr(mine, "nbytes") else None, nbytes=chunk)
             total = sum(g.nbytes if hasattr(g, "nbytes") else chunk
                         for g in got)
             from repro.simmpi.datatypes import Buffer
@@ -68,8 +85,8 @@ def allreduce(
         flat = np.asarray(buf.payload).reshape(-1)
         per = -(-flat.size // size)
         parts = [flat[i * per : (i + 1) * per].copy() for i in range(size)]
-        mine = reduce_scatter(comm, parts, op)
-        got = comm.allgather(mine)
+        mine = yield from co_reduce_scatter(comm, parts, op)
+        got = yield from comm.co_allgather(mine)
         out = np.concatenate([np.asarray(g).reshape(-1) for g in got])
         out = out[: flat.size]
         ref = np.asarray(buf.payload)
@@ -84,8 +101,8 @@ def allreduce(
     while mask < size:
         peer = me ^ mask
         req = comm._irecv(peer, mask, ctx)
-        comm._isend(buf, peer, mask, ctx, "coll")
-        msg = req.wait()
+        yield from comm._co_isend(buf, peer, mask, ctx, "coll")
+        msg = yield from req.co_wait()
         buf = combine(op, buf, msg.buf)
         mask <<= 1
     return unwrap(buf)

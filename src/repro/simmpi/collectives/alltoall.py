@@ -1,13 +1,19 @@
-"""All-to-all personalized exchange: pairwise (default) and linear."""
+"""All-to-all personalized exchange: pairwise (default) and linear.
+
+The decompositions are written once as resumable ``co_`` generators;
+the blocking entry point drives them to completion (see barrier.py for
+the pattern).
+"""
 
 from __future__ import annotations
 
 from typing import Any, List, Optional, Sequence
 
 from repro.simmpi.collectives.util import as_buffer, is_pow2, unwrap
+from repro.simmpi.engine import _drive
 from repro.simmpi.errorsim import CommError
 
-__all__ = ["alltoall", "ALGORITHMS"]
+__all__ = ["alltoall", "co_alltoall", "ALGORITHMS"]
 
 ALGORITHMS = ("pairwise", "linear")
 
@@ -20,6 +26,16 @@ def alltoall(
 ) -> List[Any]:
     """Send ``values[j]`` to rank j; returns the items received, by
     source rank.  ``nbytes`` is the per-item size for abstract items."""
+    return _drive(co_alltoall(comm, values, nbytes, algorithm))
+
+
+def co_alltoall(
+    comm,
+    values: Sequence[Any],
+    nbytes: Optional[int] = None,
+    algorithm: Optional[str] = None,
+):
+    """Resumable :func:`alltoall`."""
     algorithm = algorithm or "pairwise"
     if algorithm not in ALGORITHMS:
         raise CommError(f"unknown alltoall algorithm {algorithm!r}; have {ALGORITHMS}")
@@ -43,8 +59,8 @@ def alltoall(
                 # shift pattern: receive from the mirrored peer
             recv_from = peer if xor_mode else (me - step) % size
             req = comm._irecv(recv_from, step, ctx)
-            comm._isend(bufs[peer], peer, step, ctx, "coll")
-            msg = req.wait()
+            yield from comm._co_isend(bufs[peer], peer, step, ctx, "coll")
+            msg = yield from req.co_wait()
             out[recv_from] = unwrap(msg.buf)
     else:
         reqs = [
@@ -54,8 +70,8 @@ def alltoall(
         ]
         for dst in range(size):
             if dst != me:
-                comm._isend(bufs[dst], dst, 0, ctx, "coll")
+                yield from comm._co_isend(bufs[dst], dst, 0, ctx, "coll")
         for req in reqs:
-            msg = req.wait()
+            msg = yield from req.co_wait()
             out[msg.src] = unwrap(msg.buf)
     return out

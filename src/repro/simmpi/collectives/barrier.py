@@ -5,6 +5,13 @@ counts still increment, which is exactly the caveat the paper gives in
 §4.1 ("some collective MPI routines might generate point-to-point
 zero-length messages"), and what the quickstart example shows for
 ``MPI_Barrier``.
+
+Like every collective, the decomposition is written once as a
+resumable ``co_`` generator (the event-driven engine's native
+spelling); the blocking entry point drives it to completion on the
+spot — under the threaded engine the co primitives never yield, so the
+generator runs in a single resume and the engine call sequence is
+identical to the classic blocking implementation.
 """
 
 from __future__ import annotations
@@ -13,9 +20,10 @@ from typing import Optional
 
 from repro.simmpi.collectives.util import ceil_log2
 from repro.simmpi.datatypes import Buffer
+from repro.simmpi.engine import _drive
 from repro.simmpi.errorsim import CommError
 
-__all__ = ["barrier", "ALGORITHMS"]
+__all__ = ["barrier", "co_barrier", "ALGORITHMS"]
 
 ALGORITHMS = ("dissemination", "tree")
 
@@ -24,6 +32,11 @@ _TOKEN = Buffer(None, nbytes=0)
 
 def barrier(comm, algorithm: Optional[str] = None) -> None:
     """Block until every rank has entered the barrier."""
+    return _drive(co_barrier(comm, algorithm=algorithm))
+
+
+def co_barrier(comm, algorithm: Optional[str] = None):
+    """Resumable :func:`barrier`."""
     algorithm = algorithm or "dissemination"
     if algorithm not in ALGORITHMS:
         raise CommError(f"unknown barrier algorithm {algorithm!r}; have {ALGORITHMS}")
@@ -31,23 +44,23 @@ def barrier(comm, algorithm: Optional[str] = None) -> None:
     if comm.size == 1:
         return
     if algorithm == "dissemination":
-        _dissemination(comm, ctx)
+        yield from _dissemination(comm, ctx)
     else:
-        _tree(comm, ctx)
+        yield from _tree(comm, ctx)
 
 
-def _dissemination(comm, ctx) -> None:
+def _dissemination(comm, ctx):
     me, size = comm.rank, comm.size
     for k in range(ceil_log2(size)):
         dist = 1 << k
         dst = (me + dist) % size
         src = (me - dist) % size
         req = comm._irecv(src, k, ctx)
-        comm._isend(_TOKEN, dst, k, ctx, "coll")
-        req.wait()
+        yield from comm._co_isend(_TOKEN, dst, k, ctx, "coll")
+        yield from req.co_wait()
 
 
-def _tree(comm, ctx) -> None:
+def _tree(comm, ctx):
     """Binomial fan-in to rank 0 then binomial fan-out."""
     me, size = comm.rank, comm.size
     # Fan-in.
@@ -56,20 +69,20 @@ def _tree(comm, ctx) -> None:
         if me & mask == 0:
             src = me | mask
             if src < size:
-                comm._irecv(src, mask, ctx).wait()
+                yield from comm._irecv(src, mask, ctx).co_wait()
         else:
-            comm._isend(_TOKEN, me & ~mask, mask, ctx, "coll")
+            yield from comm._co_isend(_TOKEN, me & ~mask, mask, ctx, "coll")
             break
         mask <<= 1
     # Fan-out (release), reusing the binomial broadcast structure.
     mask = 1
     while mask < size:
         if me & mask:
-            comm._irecv(me - mask, size + mask, ctx).wait()
+            yield from comm._irecv(me - mask, size + mask, ctx).co_wait()
             break
         mask <<= 1
     mask >>= 1
     while mask > 0:
         if me + mask < size:
-            comm._isend(_TOKEN, me + mask, size + mask, ctx, "coll")
+            yield from comm._co_isend(_TOKEN, me + mask, size + mask, ctx, "coll")
         mask >>= 1

@@ -5,6 +5,10 @@ reordering moves the heavy tree edges (which all carry the full buffer)
 inside nodes.  Large buffers are segmented and pipelined through the
 tree (like Open MPI's tuned component), so the monitoring component
 records one point-to-point message per segment per edge.
+
+The decompositions are written once as resumable ``co_`` generators;
+the blocking entry point drives them to completion (see barrier.py for
+the pattern).
 """
 
 from __future__ import annotations
@@ -14,9 +18,10 @@ from typing import Any, List, Optional
 from repro.simmpi.collectives.segment import n_segments, join_payloads, split_buffer
 from repro.simmpi.collectives.util import as_buffer, unvrank, unwrap, vrank
 from repro.simmpi.datatypes import Buffer
+from repro.simmpi.engine import _drive
 from repro.simmpi.errorsim import CommError
 
-__all__ = ["bcast", "ALGORITHMS"]
+__all__ = ["bcast", "co_bcast", "ALGORITHMS"]
 
 ALGORITHMS = ("binomial", "flat", "chain")
 
@@ -36,6 +41,18 @@ def bcast(
     array payloads arrive flat at non-root ranks (shape travels with
     the data only in the unsegmented path).
     """
+    return _drive(co_bcast(comm, value, root, nbytes, algorithm, segments))
+
+
+def co_bcast(
+    comm,
+    value: Any = None,
+    root: int = 0,
+    nbytes: Optional[int] = None,
+    algorithm: Optional[str] = None,
+    segments: Optional[int] = None,
+):
+    """Resumable :func:`bcast`."""
     comm._check_rank(root)
     algorithm = algorithm or "binomial"
     if algorithm not in ALGORITHMS:
@@ -48,11 +65,11 @@ def bcast(
 
     buf = as_buffer(value, nbytes) if me == root else None
     if algorithm == "binomial":
-        buf = _binomial(comm, buf, root, ctx, segments)
+        buf = yield from _binomial(comm, buf, root, ctx, segments)
     elif algorithm == "flat":
-        buf = _flat(comm, buf, root, ctx)
+        buf = yield from _flat(comm, buf, root, ctx)
     else:
-        buf = _chain(comm, buf, root, ctx)
+        buf = yield from _chain(comm, buf, root, ctx)
     return unwrap(buf)
 
 
@@ -72,7 +89,7 @@ def _segment_count(comm, buf: Optional[Buffer], root: int,
     return 0  # receivers learn it from the header segment
 
 
-def _binomial(comm, buf: Optional[Buffer], root: int, ctx, segments) -> Buffer:
+def _binomial(comm, buf: Optional[Buffer], root: int, ctx, segments):
     me, size = comm.rank, comm.size
     vr = vrank(me, root, size)
 
@@ -105,13 +122,14 @@ def _binomial(comm, buf: Optional[Buffer], root: int, ctx, segments) -> Buffer:
         for s, piece in enumerate(pieces):
             wire = hdr if s == 0 else piece
             for child in children:
-                comm._isend(wire, child, s, ctx, "coll", batches[child])
+                yield from comm._co_isend(wire, child, s, ctx, "coll",
+                                          batches[child])
         for child in children:
-            comm._close_peer_batch(batches[child])
+            yield from comm._co_close_peer_batch(batches[child])
         return buf
 
     # Receivers: segment 0 carries the segment count in its header.
-    msg0 = comm._irecv(parent, 0, ctx).wait()
+    msg0 = yield from comm._irecv(parent, 0, ctx).co_wait()
     payload0 = msg0.payload
     if isinstance(payload0, tuple) and len(payload0) == 3 and \
             payload0[0] == "BCAST_HDR":
@@ -121,36 +139,40 @@ def _binomial(comm, buf: Optional[Buffer], root: int, ctx, segments) -> Buffer:
         nseg = 1
         pieces = [msg0.buf]
     for child in children:
-        comm._isend(msg0.buf, child, 0, ctx, "coll", batches[child])
+        yield from comm._co_isend(msg0.buf, child, 0, ctx, "coll",
+                                  batches[child])
     for s in range(1, nseg):
-        msg = comm._irecv(parent, s, ctx).wait()
+        msg = yield from comm._irecv(parent, s, ctx).co_wait()
         pieces.append(msg.buf)
         for child in children:
-            comm._isend(msg.buf, child, s, ctx, "coll", batches[child])
+            yield from comm._co_isend(msg.buf, child, s, ctx, "coll",
+                                      batches[child])
     for child in children:
-        comm._close_peer_batch(batches[child])
+        yield from comm._co_close_peer_batch(batches[child])
     if nseg == 1:
         return pieces[0]
     return join_payloads(pieces, pieces[0])
 
 
-def _flat(comm, buf: Optional[Buffer], root: int, ctx) -> Buffer:
+def _flat(comm, buf: Optional[Buffer], root: int, ctx):
     me, size = comm.rank, comm.size
     if me == root:
         for dst in range(size):
             if dst != root:
-                comm._isend(buf, dst, 0, ctx, "coll")
+                yield from comm._co_isend(buf, dst, 0, ctx, "coll")
         return buf
-    return comm._irecv(root, 0, ctx).wait().buf
+    msg = yield from comm._irecv(root, 0, ctx).co_wait()
+    return msg.buf
 
 
-def _chain(comm, buf: Optional[Buffer], root: int, ctx) -> Buffer:
+def _chain(comm, buf: Optional[Buffer], root: int, ctx):
     me, size = comm.rank, comm.size
     vr = vrank(me, root, size)
     if vr > 0:
         src = unvrank(vr - 1, root, size)
-        buf = comm._irecv(src, 0, ctx).wait().buf
+        msg = yield from comm._irecv(src, 0, ctx).co_wait()
+        buf = msg.buf
     if vr + 1 < size:
         dst = unvrank(vr + 1, root, size)
-        comm._isend(buf, dst, 0, ctx, "coll")
+        yield from comm._co_isend(buf, dst, 0, ctx, "coll")
     return buf

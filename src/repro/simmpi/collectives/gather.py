@@ -1,4 +1,9 @@
-"""Gather algorithms: binomial tree (default) and linear."""
+"""Gather algorithms: binomial tree (default) and linear.
+
+The decompositions are written once as resumable ``co_`` generators;
+the blocking entry point drives them to completion (see barrier.py for
+the pattern).
+"""
 
 from __future__ import annotations
 
@@ -6,9 +11,10 @@ from typing import Any, Dict, List, Optional
 
 from repro.simmpi.collectives.util import as_buffer, unvrank, unwrap, vrank
 from repro.simmpi.datatypes import Buffer
+from repro.simmpi.engine import _drive
 from repro.simmpi.errorsim import CommError
 
-__all__ = ["gather", "ALGORITHMS"]
+__all__ = ["gather", "co_gather", "ALGORITHMS"]
 
 ALGORITHMS = ("binomial", "linear")
 
@@ -22,6 +28,17 @@ def gather(
 ) -> Optional[List[Any]]:
     """Gather every rank's ``value`` at ``root`` (returns ``None``
     elsewhere)."""
+    return _drive(co_gather(comm, value, root, nbytes, algorithm))
+
+
+def co_gather(
+    comm,
+    value: Any,
+    root: int = 0,
+    nbytes: Optional[int] = None,
+    algorithm: Optional[str] = None,
+):
+    """Resumable :func:`gather`."""
     comm._check_rank(root)
     algorithm = algorithm or "binomial"
     if algorithm not in ALGORITHMS:
@@ -33,9 +50,9 @@ def gather(
         return [unwrap(buf)]
 
     if algorithm == "binomial":
-        table = _binomial(comm, buf, root, ctx)
+        table = yield from _binomial(comm, buf, root, ctx)
     else:
-        table = _linear(comm, buf, root, ctx)
+        table = yield from _linear(comm, buf, root, ctx)
     if me != root:
         return None
     return [unwrap(table[r]) for r in range(size)]
@@ -46,7 +63,7 @@ def _pack(table: Dict[int, Buffer]) -> Buffer:
     return Buffer(dict(table), nbytes=total)
 
 
-def _binomial(comm, buf: Buffer, root: int, ctx) -> Optional[Dict[int, Buffer]]:
+def _binomial(comm, buf: Buffer, root: int, ctx):
     me, size = comm.rank, comm.size
     vr = vrank(me, root, size)
     table: Dict[int, Buffer] = {me: buf}
@@ -55,24 +72,26 @@ def _binomial(comm, buf: Buffer, root: int, ctx) -> Optional[Dict[int, Buffer]]:
         if vr & mask == 0:
             src_v = vr | mask
             if src_v < size:
-                msg = comm._irecv(unvrank(src_v, root, size), mask, ctx).wait()
+                msg = yield from comm._irecv(
+                    unvrank(src_v, root, size), mask, ctx).co_wait()
                 table.update(msg.payload)
         else:
             dst = unvrank(vr & ~mask, root, size)
-            comm._isend(_pack(table), dst, mask, ctx, "coll")
+            yield from comm._co_isend(_pack(table), dst, mask, ctx, "coll")
             return None
         mask <<= 1
     return table
 
 
-def _linear(comm, buf: Buffer, root: int, ctx) -> Optional[Dict[int, Buffer]]:
+def _linear(comm, buf: Buffer, root: int, ctx):
     me, size = comm.rank, comm.size
     if me != root:
-        comm._isend(buf, root, 0, ctx, "coll")
+        yield from comm._co_isend(buf, root, 0, ctx, "coll")
         return None
     table: Dict[int, Buffer] = {me: buf}
     for src in range(size):
         if src == root:
             continue
-        table[src] = comm._irecv(src, 0, ctx).wait().buf
+        msg = yield from comm._irecv(src, 0, ctx).co_wait()
+        table[src] = msg.buf
     return table

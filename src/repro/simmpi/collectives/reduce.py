@@ -5,6 +5,10 @@ algorithm" in the caption): every internal tree node receives the full
 buffer from each child.  Like Open MPI's tuned component, large
 buffers are segmented and pipelined through the tree; the monitoring
 component records one point-to-point message per segment per edge.
+
+The decompositions are written once as resumable ``co_`` generators;
+the blocking entry point drives them to completion (see barrier.py for
+the pattern).
 """
 
 from __future__ import annotations
@@ -14,10 +18,11 @@ from typing import Any, List, Optional
 from repro.simmpi.collectives.segment import join_payloads, n_segments, split_buffer
 from repro.simmpi.collectives.util import as_buffer, unvrank, unwrap, vrank
 from repro.simmpi.datatypes import Buffer
+from repro.simmpi.engine import _drive
 from repro.simmpi.errorsim import CommError
 from repro.simmpi.op import Op, combine
 
-__all__ = ["reduce", "ALGORITHMS"]
+__all__ = ["reduce", "co_reduce", "ALGORITHMS"]
 
 ALGORITHMS = ("binomial", "binary", "flat")
 
@@ -38,6 +43,19 @@ def reduce(
     ``segments=1`` to disable pipelining (required for concrete
     payloads that are not NumPy arrays).
     """
+    return _drive(co_reduce(comm, value, op, root, nbytes, algorithm, segments))
+
+
+def co_reduce(
+    comm,
+    value: Any,
+    op: Op,
+    root: int = 0,
+    nbytes: Optional[int] = None,
+    algorithm: Optional[str] = None,
+    segments: Optional[int] = None,
+):
+    """Resumable :func:`reduce`."""
     comm._check_rank(root)
     algorithm = algorithm or "binomial"
     if algorithm not in ALGORITHMS:
@@ -55,11 +73,13 @@ def reduce(
         )
 
     if algorithm == "binomial":
-        out = _tree_reduce(comm, buf, op, root, ctx, nseg, _binomial_links)
+        out = yield from _tree_reduce(comm, buf, op, root, ctx, nseg,
+                                      _binomial_links)
     elif algorithm == "binary":
-        out = _tree_reduce(comm, buf, op, root, ctx, nseg, _binary_links)
+        out = yield from _tree_reduce(comm, buf, op, root, ctx, nseg,
+                                      _binary_links)
     else:
-        out = _flat(comm, buf, op, root, ctx)
+        out = yield from _flat(comm, buf, op, root, ctx)
     return unwrap(out) if me == root else None
 
 
@@ -90,7 +110,7 @@ def _binomial_links(vr: int, size: int):
 
 
 def _tree_reduce(comm, buf: Buffer, op: Op, root: int, ctx, nseg: int,
-                 links) -> Optional[Buffer]:
+                 links):
     me, size = comm.rank, comm.size
     vr = vrank(me, root, size)
     children_v, parent_v = links(vr, size)
@@ -105,28 +125,28 @@ def _tree_reduce(comm, buf: Buffer, op: Op, root: int, ctx, nseg: int,
     for s, piece in enumerate(pieces):
         acc = piece
         for child in children:
-            msg = comm._irecv(child, s, ctx).wait()
+            msg = yield from comm._irecv(child, s, ctx).co_wait()
             acc = combine(op, acc, msg.buf)
         if parent is not None:
-            comm._isend(acc, parent, s, ctx, "coll", batch)
+            yield from comm._co_isend(acc, parent, s, ctx, "coll", batch)
         else:
             out.append(acc)
     if parent is not None:
-        comm._close_peer_batch(batch)
+        yield from comm._co_close_peer_batch(batch)
         return None
     if nseg == 1:
         return out[0]
     return join_payloads(out, buf)
 
 
-def _flat(comm, buf: Buffer, op: Op, root: int, ctx) -> Optional[Buffer]:
+def _flat(comm, buf: Buffer, op: Op, root: int, ctx):
     me, size = comm.rank, comm.size
     if me != root:
-        comm._isend(buf, root, 0, ctx, "coll")
+        yield from comm._co_isend(buf, root, 0, ctx, "coll")
         return None
     for src in range(size):
         if src == root:
             continue
-        msg = comm._irecv(src, 0, ctx).wait()
+        msg = yield from comm._irecv(src, 0, ctx).co_wait()
         buf = combine(op, buf, msg.buf)
     return buf

@@ -3,6 +3,10 @@
 Not used by the paper's experiments, but part of the MPI collective
 surface an adopter expects — and more decompositions for the monitor
 to see.
+
+The decompositions are written once as resumable ``co_`` generators;
+the blocking entry point drives them to completion (see barrier.py for
+the pattern).
 """
 
 from __future__ import annotations
@@ -11,9 +15,11 @@ from typing import Any, List, Optional
 
 from repro.simmpi.collectives.util import as_buffer, unwrap
 from repro.simmpi.datatypes import Buffer
+from repro.simmpi.engine import _drive
 from repro.simmpi.op import Op, combine
 
-__all__ = ["scan", "exscan", "reduce_scatter"]
+__all__ = ["scan", "exscan", "reduce_scatter",
+           "co_scan", "co_exscan", "co_reduce_scatter"]
 
 
 def scan(comm, value: Any, op: Op, nbytes: Optional[int] = None) -> Any:
@@ -21,6 +27,11 @@ def scan(comm, value: Any, op: Op, nbytes: Optional[int] = None) -> Any:
 
     Hillis-Steele doubling: log₂ p rounds of one send/recv pair.
     """
+    return _drive(co_scan(comm, value, op, nbytes))
+
+
+def co_scan(comm, value: Any, op: Op, nbytes: Optional[int] = None):
+    """Resumable :func:`scan`."""
     ctx = comm._next_collective_context("scan")
     me, size = comm.rank, comm.size
     acc = as_buffer(value, nbytes)
@@ -31,9 +42,9 @@ def scan(comm, value: Any, op: Op, nbytes: Optional[int] = None) -> Any:
         if me - dist >= 0:
             req = comm._irecv(me - dist, dist, ctx)
         if me + dist < size:
-            comm._isend(acc, me + dist, dist, ctx, "coll")
+            yield from comm._co_isend(acc, me + dist, dist, ctx, "coll")
         if req is not None:
-            msg = req.wait()
+            msg = yield from req.co_wait()
             acc = combine(op, msg.buf, acc)
         dist <<= 1
     return unwrap(acc)
@@ -42,6 +53,11 @@ def scan(comm, value: Any, op: Op, nbytes: Optional[int] = None) -> Any:
 def exscan(comm, value: Any, op: Op, nbytes: Optional[int] = None) -> Any:
     """Exclusive prefix reduction: rank i returns op(v_0, ..., v_{i-1});
     rank 0 returns ``None`` (like MPI_Exscan's undefined result)."""
+    return _drive(co_exscan(comm, value, op, nbytes))
+
+
+def co_exscan(comm, value: Any, op: Op, nbytes: Optional[int] = None):
+    """Resumable :func:`exscan`."""
     ctx = comm._next_collective_context("exscan")
     me, size = comm.rank, comm.size
     mine = as_buffer(value, nbytes)
@@ -53,9 +69,9 @@ def exscan(comm, value: Any, op: Op, nbytes: Optional[int] = None) -> Any:
         if me - dist >= 0:
             req = comm._irecv(me - dist, dist, ctx)
         if me + dist < size:
-            comm._isend(send_buf, me + dist, dist, ctx, "coll")
+            yield from comm._co_isend(send_buf, me + dist, dist, ctx, "coll")
         if req is not None:
-            msg = req.wait()
+            msg = yield from req.co_wait()
             acc = msg.buf if acc is None else combine(op, msg.buf, acc)
         dist <<= 1
     return None if acc is None else unwrap(acc)
@@ -68,6 +84,12 @@ def reduce_scatter(comm, values: List[Any], op: Op,
     ``values`` has one item per rank.  Implemented as pairwise
     recursive halving for power-of-two sizes, reduce+scatter otherwise.
     """
+    return _drive(co_reduce_scatter(comm, values, op, nbytes))
+
+
+def co_reduce_scatter(comm, values: List[Any], op: Op,
+                      nbytes: Optional[int] = None):
+    """Resumable :func:`reduce_scatter`."""
     me, size = comm.rank, comm.size
     if len(values) != size:
         from repro.simmpi.errorsim import CommError
@@ -94,25 +116,25 @@ def reduce_scatter(comm, values: List[Any], op: Op,
             payload = {j: bufs[j] for j in send_idx}
             total = sum(b.nbytes for b in payload.values())
             req = comm._irecv(partner, hi - lo, ctx)
-            comm._isend(Buffer(payload, nbytes=total), partner, hi - lo, ctx,
-                        "coll")
-            msg = req.wait()
+            yield from comm._co_isend(
+                Buffer(payload, nbytes=total), partner, hi - lo, ctx, "coll")
+            msg = yield from req.co_wait()
             for j, b in msg.payload.items():
                 bufs[j] = combine(op, bufs[j], b)
             lo, hi = keep
         return unwrap(bufs[me])
 
     # General size: binomial reduce of the whole table, then scatter.
-    from repro.simmpi.collectives.reduce import reduce as _reduce
-    from repro.simmpi.collectives.scatter import scatter as _scatter
+    from repro.simmpi.collectives.reduce import co_reduce
+    from repro.simmpi.collectives.scatter import co_scatter
 
     table = [bufs[j] for j in range(size)]
     reduced: List[Optional[Buffer]] = []
     for j in range(size):
-        r = _reduce(comm, table[j], op, root=0, segments=1)
+        r = yield from co_reduce(comm, table[j], op, root=0, segments=1)
         reduced.append(r)
     if me == 0:
         items = [r if isinstance(r, Buffer) else Buffer.wrap(r) for r in reduced]
     else:
         items = None
-    return _scatter(comm, items, root=0)
+    return (yield from co_scatter(comm, items, root=0))

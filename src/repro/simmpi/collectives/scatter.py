@@ -1,4 +1,9 @@
-"""Scatter algorithms: binomial tree (default) and linear."""
+"""Scatter algorithms: binomial tree (default) and linear.
+
+The decompositions are written once as resumable ``co_`` generators;
+the blocking entry point drives them to completion (see barrier.py for
+the pattern).
+"""
 
 from __future__ import annotations
 
@@ -6,9 +11,10 @@ from typing import Any, Dict, Optional, Sequence
 
 from repro.simmpi.collectives.util import as_buffer, unvrank, unwrap, vrank
 from repro.simmpi.datatypes import Buffer
+from repro.simmpi.engine import _drive
 from repro.simmpi.errorsim import CommError
 
-__all__ = ["scatter", "ALGORITHMS"]
+__all__ = ["scatter", "co_scatter", "ALGORITHMS"]
 
 ALGORITHMS = ("binomial", "linear")
 
@@ -25,6 +31,17 @@ def scatter(
 
     ``nbytes``, if given, is the per-item size (for abstract items).
     """
+    return _drive(co_scatter(comm, values, root, nbytes, algorithm))
+
+
+def co_scatter(
+    comm,
+    values: Optional[Sequence[Any]] = None,
+    root: int = 0,
+    nbytes: Optional[int] = None,
+    algorithm: Optional[str] = None,
+):
+    """Resumable :func:`scatter`."""
     comm._check_rank(root)
     algorithm = algorithm or "binomial"
     if algorithm not in ALGORITHMS:
@@ -41,9 +58,9 @@ def scatter(
         return unwrap(table[0])
 
     if algorithm == "binomial":
-        mine = _binomial(comm, table, root, ctx)
+        mine = yield from _binomial(comm, table, root, ctx)
     else:
-        mine = _linear(comm, table, root, ctx)
+        mine = yield from _linear(comm, table, root, ctx)
     return unwrap(mine)
 
 
@@ -52,7 +69,7 @@ def _pack(table: Dict[int, Buffer]) -> Buffer:
     return Buffer(dict(table), nbytes=total)
 
 
-def _binomial(comm, table: Optional[Dict[int, Buffer]], root: int, ctx) -> Buffer:
+def _binomial(comm, table: Optional[Dict[int, Buffer]], root: int, ctx):
     me, size = comm.rank, comm.size
     vr = vrank(me, root, size)
 
@@ -61,7 +78,7 @@ def _binomial(comm, table: Optional[Dict[int, Buffer]], root: int, ctx) -> Buffe
     while mask < size:
         if vr & mask:
             src = unvrank(vr - mask, root, size)
-            msg = comm._irecv(src, mask, ctx).wait()
+            msg = yield from comm._irecv(src, mask, ctx).co_wait()
             table = dict(msg.payload)
             break
         mask <<= 1
@@ -76,18 +93,20 @@ def _binomial(comm, table: Optional[Dict[int, Buffer]], root: int, ctx) -> Buffe
                 for r, b in table.items()
                 if dst_v <= vrank(r, root, size) < dst_v + mask
             }
-            comm._isend(_pack(sub), unvrank(dst_v, root, size), mask, ctx, "coll")
+            yield from comm._co_isend(
+                _pack(sub), unvrank(dst_v, root, size), mask, ctx, "coll")
             for r in sub:
                 del table[r]
         mask >>= 1
     return table[me]
 
 
-def _linear(comm, table: Optional[Dict[int, Buffer]], root: int, ctx) -> Buffer:
+def _linear(comm, table: Optional[Dict[int, Buffer]], root: int, ctx):
     me, size = comm.rank, comm.size
     if me == root:
         for dst in range(size):
             if dst != root:
-                comm._isend(table[dst], dst, 0, ctx, "coll")
+                yield from comm._co_isend(table[dst], dst, 0, ctx, "coll")
         return table[me]
-    return comm._irecv(root, 0, ctx).wait().buf
+    msg = yield from comm._irecv(root, 0, ctx).co_wait()
+    return msg.buf

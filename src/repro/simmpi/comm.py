@@ -108,6 +108,54 @@ class Communicator:
         """Model idle time (identical to :meth:`compute` in the model)."""
         self._current().advance(seconds)
 
+    # -- resumable (co) twins of the timed services -------------------------
+    #
+    # The ``co_`` API is the canonical spelling for generator rank
+    # programs (the event-driven engine).  Each co method performs the
+    # *identical* engine call sequence as its blocking twin, with the
+    # parking primitives routed through Engine.co_settle/co_block —
+    # which, under the threaded engine, delegate to the blocking ones
+    # without yielding.  Library code written against co_* therefore
+    # runs bit-exactly on both cores.
+    #
+    # The workhorse pattern: settle the caller's deferred send *first*
+    # (the only point where these services can park), after which the
+    # blocking implementation is guaranteed park-free and is invoked
+    # directly — one implementation, two drivers.
+
+    def co_sync(self):
+        """Settle the caller's deferred send (resumable).
+
+        Use before calling blocking library code that settles
+        internally (pvar reads, session snapshots, ``pml.set_mode``):
+        with the send already settled those inner settles no-op, so
+        the blocking call can run unmodified inside a co program.
+        """
+        proc = self._current()
+        if proc.pending is not None:
+            yield from self.engine.co_settle(proc)
+        return proc
+
+    def co_time(self):
+        """Resumable :attr:`time` (``t = yield from comm.co_time()``)."""
+        proc = self._current()
+        if proc.pending is not None:
+            yield from self.engine.co_settle(proc)
+        return proc.clock
+
+    def co_compute(self, seconds: float):
+        """Resumable :meth:`compute`."""
+        if seconds < 0:
+            raise ValueError("cannot advance time backwards")
+        proc = self._current()
+        if proc.pending is not None:
+            yield from self.engine.co_settle(proc)
+        proc.clock += seconds
+
+    def co_sleep(self, seconds: float):
+        """Resumable :meth:`sleep`."""
+        yield from self.co_compute(seconds)
+
     # -- user point-to-point ----------------------------------------------
 
     def send(
@@ -162,6 +210,44 @@ class Communicator:
         proc = self._current()
         if proc.pending is not None:
             self.engine.settle(proc)
+        mq = self._queue(self._local_of_world[proc.rank])
+        return mq.probe(source, tag, _PT2PT_CONTEXT)
+
+    # -- resumable (co) point-to-point --------------------------------------
+
+    def co_send(self, value: Any = None, dest: int = 0, tag: int = 0,
+                nbytes: Optional[int] = None):
+        """Resumable :meth:`send`."""
+        yield from self.co_isend(value, dest=dest, tag=tag, nbytes=nbytes)
+
+    def co_isend(self, value: Any = None, dest: int = 0, tag: int = 0,
+                 nbytes: Optional[int] = None):
+        """Resumable :meth:`isend` (the returned request is complete)."""
+        if tag < 0:
+            raise CommError(f"user tags must be >= 0, got {tag}")
+        self._check_rank(dest)
+        buf = Buffer.wrap(value, nbytes)
+        yield from self._co_isend(buf, dest, tag, _PT2PT_CONTEXT, "p2p")
+        return SendRequest(buf.nbytes)
+
+    def co_recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Resumable :meth:`recv`."""
+        req = self.irecv(source=source, tag=tag)
+        return (yield from req.co_wait())
+
+    def co_sendrecv(self, value: Any, dest: int, source: int = ANY_SOURCE,
+                    sendtag: int = 0, recvtag: int = ANY_TAG,
+                    nbytes: Optional[int] = None):
+        """Resumable :meth:`sendrecv`."""
+        req = self.irecv(source=source, tag=recvtag)
+        yield from self.co_isend(value, dest=dest, tag=sendtag, nbytes=nbytes)
+        return (yield from req.co_wait())
+
+    def co_probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Resumable :meth:`probe`."""
+        proc = self._current()
+        if proc.pending is not None:
+            yield from self.engine.co_settle(proc)
         mq = self._queue(self._local_of_world[proc.rank])
         return mq.probe(source, tag, _PT2PT_CONTEXT)
 
@@ -257,6 +343,34 @@ class Communicator:
         )
         return _SEND_DONE
 
+    def _co_isend(
+        self, buf: Buffer, dest: int, tag: int, context: Hashable, category: str,
+        batch=None,
+    ):
+        """Resumable :meth:`_isend`.
+
+        The blocking ``_isend`` parks in exactly one place: settling
+        the caller's previous deferred send.  Settle it here through
+        the co protocol, then run the blocking implementation — which
+        is then park-free (posting a *new* deferred send only pushes a
+        heap entry) — so the two spellings share one hot path.
+        """
+        try:
+            proc = _tls.proc
+        except AttributeError:
+            raise SimError("not inside a simulated MPI process") from None
+        if proc.pending is not None:
+            # Engine.co_settle, unrolled: settle without allocating a
+            # sub-generator unless a park is actually needed (rare).
+            eng = self.engine
+            if not eng._ev:
+                eng.settle(proc)
+            else:
+                nxt = eng._settle_scan(proc)
+                if nxt is not None:
+                    yield from eng._co_settle_park(proc, nxt)
+        return self._isend(buf, dest, tag, context, category, batch)
+
     def _open_peer_batch(self, dest: int, category: str) -> PeerBatch:
         """Open batched matrix bookkeeping for sends to one peer.
 
@@ -269,6 +383,15 @@ class Communicator:
         return PeerBatch(proc.rank, self.group[dest], category)
 
     def _close_peer_batch(self, batch: PeerBatch) -> None:
+        self.engine.pml.close_batch(batch)
+
+    def _co_close_peer_batch(self, batch: PeerBatch):
+        """Resumable :meth:`_close_peer_batch`: settle the caller's
+        deferred send through the co protocol so ``close_batch``'s own
+        sync (a blocking settle) no-ops."""
+        proc = self._current()
+        if proc.pending is not None:
+            yield from self.engine.co_settle(proc)
         self.engine.pml.close_batch(batch)
 
     def _irecv(self, source: int, tag: int, context: Hashable) -> RecvRequest:
@@ -376,6 +499,41 @@ class Communicator:
         seq = proc.userdata.get(key, 0)
         proc.userdata[key] = seq + 1
         return seq
+
+    def co_split(self, color: int, key: int):
+        """Resumable :meth:`split` (same exchange, same registry)."""
+        from repro.simmpi.collectives.allgather import co_allgather
+
+        me = self.rank  # noqa: F841 - membership check, like split()
+        pairs = yield from co_allgather(self, (int(color), int(key)))
+        seq = self._split_seq()
+        my_color = int(color)
+        if my_color < 0:
+            return None
+        members = [
+            (k, r) for r, (c, k) in enumerate(pairs) if c == my_color
+        ]
+        members.sort()
+        group_world = [self.group[r] for _, r in members]
+        reg_key = ("split", self.id, seq, my_color)
+        comm = self.engine.comm_registry.get(reg_key)
+        if comm is None:
+            comm = Communicator(self.engine, group_world)
+            self.engine.comm_registry[reg_key] = comm
+        return comm
+
+    def co_dup(self):
+        """Resumable :meth:`dup`."""
+        seq = self._split_seq()
+        from repro.simmpi.collectives.barrier import co_barrier
+
+        yield from co_barrier(self)
+        reg_key = ("dup", self.id, seq)
+        comm = self.engine.comm_registry.get(reg_key)
+        if comm is None:
+            comm = Communicator(self.engine, list(self.group))
+            self.engine.comm_registry[reg_key] = comm
+        return comm
 
     # -- collectives (implemented over _isend/_irecv) -------------------------
 
@@ -489,12 +647,137 @@ class Communicator:
         return self._spanned("reduce_scatter", None, reduce_scatter, self,
                              list(values), op, nbytes=nbytes)
 
+    # -- resumable (co) collectives ----------------------------------------
+
+    def _co_spanned(self, opname, _alg, gen, *args, **kwargs):
+        """Resumable :meth:`_spanned`.
+
+        Identical observation protocol — same ``kwargs`` dict handed to
+        the trace recorder, same span names — so traces recorded from
+        the event-driven engine are byte-identical to threaded ones.
+        """
+        eng = self.engine
+        rec = eng._obs_spans
+        rr = eng._rr
+        if rec is None and rr is None:
+            return (yield from gen(*args, **kwargs))
+        try:
+            proc = _tls.proc
+        except AttributeError:
+            raise SimError("not inside a simulated MPI process") from None
+        if rr is not None:
+            rr.on_coll_begin(proc, self, opname, _alg, kwargs)
+        if rec is not None:
+            name = opname if _alg is None else f"{opname}[{_alg}]"
+            rec.begin(proc.rank, name, proc.clock)
+        try:
+            return (yield from gen(*args, **kwargs))
+        finally:
+            if rec is not None:
+                rec.end(proc.rank, proc.clock)
+            if rr is not None:
+                rr.on_coll_end(proc)
+
+    def co_barrier(self, algorithm: Optional[str] = None):
+        from repro.simmpi.collectives.barrier import co_barrier
+
+        yield from self._co_spanned("barrier", algorithm, co_barrier, self,
+                                    algorithm=algorithm)
+
+    def co_bcast(self, value: Any = None, root: int = 0,
+                 nbytes: Optional[int] = None,
+                 algorithm: Optional[str] = None,
+                 segments: Optional[int] = None):
+        from repro.simmpi.collectives.bcast import co_bcast
+
+        return (yield from self._co_spanned(
+            "bcast", algorithm, co_bcast, self, value, root=root,
+            nbytes=nbytes, algorithm=algorithm, segments=segments))
+
+    def co_reduce(self, value: Any, op: Op, root: int = 0,
+                  nbytes: Optional[int] = None,
+                  algorithm: Optional[str] = None,
+                  segments: Optional[int] = None):
+        from repro.simmpi.collectives.reduce import co_reduce
+
+        return (yield from self._co_spanned(
+            "reduce", algorithm, co_reduce, self, value, op, root=root,
+            nbytes=nbytes, algorithm=algorithm, segments=segments))
+
+    def co_allreduce(self, value: Any, op: Op, nbytes: Optional[int] = None,
+                     algorithm: Optional[str] = None):
+        from repro.simmpi.collectives.allreduce import co_allreduce
+
+        return (yield from self._co_spanned(
+            "allreduce", algorithm, co_allreduce, self, value, op,
+            nbytes=nbytes, algorithm=algorithm))
+
+    def co_gather(self, value: Any, root: int = 0,
+                  nbytes: Optional[int] = None,
+                  algorithm: Optional[str] = None):
+        from repro.simmpi.collectives.gather import co_gather
+
+        return (yield from self._co_spanned(
+            "gather", algorithm, co_gather, self, value, root=root,
+            nbytes=nbytes, algorithm=algorithm))
+
+    def co_scatter(self, values: Optional[Sequence[Any]] = None, root: int = 0,
+                   nbytes: Optional[int] = None,
+                   algorithm: Optional[str] = None):
+        from repro.simmpi.collectives.scatter import co_scatter
+
+        return (yield from self._co_spanned(
+            "scatter", algorithm, co_scatter, self, values, root=root,
+            nbytes=nbytes, algorithm=algorithm))
+
+    def co_allgather(self, value: Any, nbytes: Optional[int] = None,
+                     algorithm: Optional[str] = None):
+        from repro.simmpi.collectives.allgather import co_allgather
+
+        return (yield from self._co_spanned(
+            "allgather", algorithm, co_allgather, self, value,
+            nbytes=nbytes, algorithm=algorithm))
+
+    def co_alltoall(self, values: Sequence[Any], nbytes: Optional[int] = None,
+                    algorithm: Optional[str] = None):
+        from repro.simmpi.collectives.alltoall import co_alltoall
+
+        return (yield from self._co_spanned(
+            "alltoall", algorithm, co_alltoall, self, values,
+            nbytes=nbytes, algorithm=algorithm))
+
+    def co_scan(self, value: Any, op: Op, nbytes: Optional[int] = None):
+        from repro.simmpi.collectives.scan import co_scan
+
+        return (yield from self._co_spanned(
+            "scan", None, co_scan, self, value, op, nbytes=nbytes))
+
+    def co_exscan(self, value: Any, op: Op, nbytes: Optional[int] = None):
+        from repro.simmpi.collectives.scan import co_exscan
+
+        return (yield from self._co_spanned(
+            "exscan", None, co_exscan, self, value, op, nbytes=nbytes))
+
+    def co_reduce_scatter(self, values: Sequence[Any], op: Op,
+                          nbytes: Optional[int] = None):
+        from repro.simmpi.collectives.scan import co_reduce_scatter
+
+        return (yield from self._co_spanned(
+            "reduce_scatter", None, co_reduce_scatter, self,
+            list(values), op, nbytes=nbytes))
+
     # -- one-sided --------------------------------------------------------
 
     def win_create(self, local_data: Any = None, nbytes: Optional[int] = None):
         from repro.simmpi.osc import Window
 
         return Window.create(self, local_data, nbytes=nbytes)
+
+    def co_win_create(self, local_data: Any = None,
+                      nbytes: Optional[int] = None):
+        from repro.simmpi.osc import Window
+
+        return (yield from Window.co_create(self, local_data, nbytes=nbytes))
 
     # -- helpers ---------------------------------------------------------
 

@@ -66,6 +66,7 @@ per-rank state dump instead of hanging the host process.
 from __future__ import annotations
 
 import heapq
+import inspect
 import threading
 from enum import Enum
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -109,6 +110,25 @@ def current_process() -> "SimProcess":
     return proc
 
 
+def _drive(gen):
+    """Run a co-generator to completion on the calling thread.
+
+    Blocking wrappers use this to run the canonical ``co_*``
+    implementations on the thread-per-rank engine: there the engine's
+    co services delegate to their blocking equivalents without ever
+    yielding, so the whole generator runs start-to-finish in a single
+    resume and its return value pops out of ``StopIteration``.  A
+    yield reaching this frame means co code ran outside the event
+    loop's scheduler — always a bug.
+    """
+    try:
+        next(gen)
+    except StopIteration as stop:
+        return stop.value
+    gen.close()
+    raise SimError("co_ continuation yielded outside the event-driven engine")
+
+
 # A deferred message injection, materialized in ``(clock, rank)`` order
 # by whichever thread holds the baton when it comes due.  Represented as
 # a plain list (building one is a single C-level op on the per-message
@@ -140,6 +160,7 @@ class SimProcess:
         "clock",
         "state",
         "thread",
+        "task",
         "sem",
         "blocked_on",
         "wait_obj",
@@ -150,12 +171,19 @@ class SimProcess:
         "ready_seq",
     )
 
+    #: Live execution state that cannot (and need not) survive pickling:
+    #: the OS thread, the baton semaphore, and the rank continuation.
+    _EPHEMERAL = ("thread", "task", "sem")
+
     def __init__(self, engine: "Engine", rank: int):
         self.engine = engine
         self.rank = rank
         self.clock = 0.0
         self.state = _State.NEW
         self.thread: Optional[threading.Thread] = None
+        # The rank continuation (a generator) on the event-driven core;
+        # None on the thread-per-rank core.
+        self.task: Any = None
         # Binary semaphore carrying the baton: created locked, released
         # by whoever hands this rank the baton, acquired by this rank's
         # thread to park.  The baton is unique, so releases and
@@ -187,6 +215,23 @@ class SimProcess:
         if self.pending is not None:
             self.engine.settle(self)
         self.clock += seconds
+
+    # -- pickling ---------------------------------------------------------
+
+    def __getstate__(self):
+        return {
+            slot: getattr(self, slot)
+            for slot in self.__slots__
+            if slot not in self._EPHEMERAL
+        }
+
+    def __setstate__(self, state):
+        for key, value in state.items():
+            setattr(self, key, value)
+        self.thread = None
+        self.task = None
+        self.sem = threading.Lock()
+        self.sem.acquire()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -224,6 +269,17 @@ class Engine:
         seed and uses the identical network model; only the
         interleaving of concurrent transfers — and hence low-order
         timing details — may differ from exact mode.
+    core:
+        Execution core.  ``"auto"`` (default) picks per program:
+        generator rank programs run on the event-driven core (one
+        continuation per rank, zero OS threads), plain callables on
+        the thread-per-rank core.  ``"threads"`` forces OS threads —
+        generator programs are then driven to completion on their
+        thread, which is the A/B path the bit-exactness tests use.
+        ``"eventloop"`` requires a generator program and rejects
+        plain callables.  Both cores produce bit-identical clocks,
+        matrices, and switch counts for the same program (a switch is
+        a scheduler resume on the event core).
     """
 
     def __init__(
@@ -232,9 +288,20 @@ class Engine:
         seed: int = 0,
         monitoring_overhead: float = 5.0e-8,
         handoff: str = "exact",
+        core: str = "auto",
     ):
         if handoff not in ("exact", "fast"):
             raise ValueError("handoff must be 'exact' or 'fast'")
+        if core not in ("auto", "threads", "eventloop"):
+            raise ValueError("core must be 'auto', 'threads', or 'eventloop'")
+        self.core = core
+        # True while running on the event-driven core (set by run());
+        # the co_* services dispatch on it.
+        self._ev = False
+        # task.send() count on the event core (the event-side analogue
+        # of a baton handoff; switches are counted identically on both
+        # cores, resumes only grow on the event core).
+        self._resumes = 0
         self.handoff = handoff
         self._fast = handoff == "fast"
         self.seed = int(seed)
@@ -308,6 +375,14 @@ class Engine:
         """Number of messages injected into the network so far."""
         return self.network.n_messages
 
+    @property
+    def resumes(self) -> int:
+        """Scheduler resumes so far.  On the event-driven core every
+        ``task.send()`` counts; on the thread-per-rank core a resume
+        and a baton handoff are the same event, so dashboards keep a
+        comparable signal across both cores."""
+        return self._resumes if self._ev else self._switches
+
     # -- running a program --------------------------------------------------
 
     def run(
@@ -327,24 +402,54 @@ class Engine:
         if self.procs:
             raise SimError("Engine.run is single-shot; build a new Engine")
         kwargs = kwargs or {}
+        is_gen = inspect.isgeneratorfunction(main)
+        if self.core == "eventloop" and not is_gen:
+            raise SimError(
+                "core='eventloop' requires a generator rank program; "
+                "write it against the co_* API (or use core='threads')"
+            )
+        self._ev = is_gen and self.core != "threads"
         self.procs = [SimProcess(self, r) for r in range(self.n_ranks)]
         self.world = Communicator(self, list(range(self.n_ranks)))
 
-        for proc in self.procs:
-            t = threading.Thread(
-                target=self._thread_main,
-                args=(proc, main, args, kwargs),
-                name=f"simmpi-rank-{proc.rank}",
-                daemon=True,
-            )
-            proc.thread = t
-            self._set_ready(proc)
-            t.start()
+        if self._ev:
+            for proc in self.procs:
+                proc.task = self._rank_main(proc, main, args, kwargs)
+                self._set_ready(proc)
+        else:
+            target = main
+            if is_gen:
+                # Thread-core fallback for generator programs: each
+                # rank thread drives its continuation to completion —
+                # the A/B path bit-exactness runs compare against.
+                def target(world, *a, **k):
+                    return _drive(main(world, *a, **k))
+
+            for proc in self.procs:
+                t = threading.Thread(
+                    target=self._thread_main,
+                    args=(proc, target, args, kwargs),
+                    name=f"simmpi-rank-{proc.rank}",
+                    daemon=True,
+                )
+                proc.thread = t
+                self._set_ready(proc)
+                t.start()
 
         if self._obs is not None:
             self._obs.run_started()
         try:
-            self._main_loop()
+            if self._ev:
+                # The scheduler runs on the calling thread and leaves
+                # the current-process slot exactly as it found it
+                # (nested engines, post-run library calls).
+                prev_proc = getattr(_tls, "proc", None)
+                try:
+                    self._run_eventloop()
+                finally:
+                    _tls.proc = prev_proc
+            else:
+                self._main_loop()
         finally:
             # Sampled before _drain(), which unconditionally raises the
             # abort flag while unwinding parked threads.
@@ -372,6 +477,40 @@ class Engine:
 
     def clocks(self) -> List[float]:
         return [p.clock for p in self.procs]
+
+    # -- pickling ----------------------------------------------------------
+
+    # Live machinery that cannot cross a pickle boundary: the main
+    # thread's park semaphore, the MPI_T registry (its readers are
+    # closures over this engine's components), and the optional
+    # observer/recorder taps.  ``__setstate__`` rebuilds the semaphore
+    # and the registry and leaves the taps detached: a thawed engine is
+    # inspectable state (clocks, matrices, NIC counters) and can run a
+    # fresh program if it never ran one, but it is not a resumable
+    # mid-run scheduler — rank continuations and threads do not
+    # survive the trip (see SimProcess._EPHEMERAL).
+    _EPHEMERAL = ("_main_sem", "mpit", "_obs", "_obs_spans", "_rr")
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        for key in self._EPHEMERAL:
+            state.pop(key, None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        sem = threading.Lock()
+        sem.acquire()
+        self._main_sem = sem
+        self.mpit = MpiToolInterface()
+        self.pml.register(self.mpit)
+        self.pml.sync = self._settle_caller
+        fs = self.__dict__.get("_filesystem")
+        if fs is not None:
+            fs._register_pvars(self.mpit)
+        self._obs = None
+        self._obs_spans = None
+        self._rr = None
 
     # -- ready heap (baton holder only; no lock needed) -------------------
 
@@ -585,14 +724,11 @@ class Engine:
         when its thread is parked on this transfer and must be handed
         the baton now (its post-transfer code belongs to this tenure).
         """
-        proc = ps[0]
+        proc, mq, msg, dst_world, nbytes, batch, parked = ps
         proc.pending = None
-        msg = ps[2]
-        nbytes = ps[4]
         clock = proc.clock
-        batch = ps[5]
         if batch is None:
-            recorded = self.pml.record(proc.rank, ps[3], nbytes,
+            recorded = self.pml.record(proc.rank, dst_world, nbytes,
                                        msg.category, clock)
         else:
             # pml.note_batched, inlined (keep in sync with post_send):
@@ -621,9 +757,8 @@ class Engine:
         # through here; post_send's rare immediate path still calls the
         # method).  The nbytes >= 0 precondition is Buffer's invariant.
         net = self.network
-        src_rank = proc.rank
         alpha, bw, src_node, dst_node, cross, nic_gate, mem_gate = \
-            net._pair_l[src_rank * net._n_ranks + ps[3]]
+            net._pair_l[proc.rank * net._n_ranks + dst_world]
         if net._sigma > 0.0:
             blk = net._jit_blk
             pos = net._jit_pos
@@ -638,42 +773,47 @@ class Engine:
             bwt = nbytes / bw
         start = clock + net._o_send
         if nic_gate:
-            f = net._nic_free[src_node]
+            nic_free = net._nic_free
+            f = nic_free[src_node]
             if f > start:
                 start = f
-        mem_gate = mem_gate and nbytes > 0
-        if mem_gate:
-            start = max(start, net._mem_free[src_node],
-                        net._mem_free[dst_node])
-        if nic_gate:
-            net._nic_free[src_node] = start + bwt
-        if mem_gate:
-            mem_t = nbytes / net._mem_bw
-            net._mem_free[src_node] = start + mem_t
+        if mem_gate and nbytes > 0:
+            mem_free = net._mem_free
+            f = mem_free[src_node]
+            if f > start:
+                start = f
+            f = mem_free[dst_node]
+            if f > start:
+                start = f
+            mem_t = start + nbytes / net._mem_bw
+            mem_free[src_node] = mem_t
             if dst_node != src_node:
-                net._mem_free[dst_node] = start + mem_t
+                mem_free[dst_node] = mem_t
         sender_done = start + bwt
+        if nic_gate:
+            nic_free[src_node] = sender_done
         arrival = start + lat + bwt
         net.n_messages += 1
         if cross:
+            # Buffer.nbytes is a plain int by construction, so the NIC
+            # running totals need no cast here.
             nic = net.nic
             times, totals = nic._xmit[src_node]
             tv = sender_done
             if times and tv < times[-1]:
                 tv = times[-1]
             times.append(tv)
-            totals.append((totals[-1] if totals else 0) + int(nbytes))
+            totals.append((totals[-1] if totals else 0) + nbytes)
             times, totals = nic._rcv[dst_node]
             tv = arrival
             if times and tv < times[-1]:
                 tv = times[-1]
             times.append(tv)
-            totals.append((totals[-1] if totals else 0) + int(nbytes))
+            totals.append((totals[-1] if totals else 0) + nbytes)
 
         proc.clock = sender_done
         msg.arrival = arrival
         # MatchQueue.deliver + the phantom-eliding wake, inlined.
-        mq = ps[1]
         req = None
         posted = mq._posted
         if posted:
@@ -705,9 +845,9 @@ class Engine:
                                     None))
         rr = self._rr
         if rr is not None:
-            rr.on_send(proc, ps[3], nbytes, msg.category, recorded,
+            rr.on_send(proc, dst_world, nbytes, msg.category, recorded,
                        t_pre, msg)
-        if ps[6]:
+        if parked:
             return proc
         return None
 
@@ -789,6 +929,8 @@ class Engine:
             # baton; our send will be materialized (and this thread
             # re-enqueued at its completion clock) when it comes due.
             # (_switch_to inlined: this runs once per handed-off send.)
+            if self._ev:
+                self._no_blocking_park()
             proc.pending[_PS_PARKED] = True
             proc.state = _State.READY
             self._switches += 1
@@ -801,6 +943,19 @@ class Engine:
             proc.blocked_on = ""
 
     # -- direct handoff core ----------------------------------------------
+
+    def _no_blocking_park(self) -> None:
+        """A blocking park would hang the event loop (no thread will
+        ever release the semaphore).  During teardown this is the
+        normal unwind path — a parked thread woken by _drain raises
+        Aborted from the same spot; otherwise it is co code that
+        called a blocking API which needed to park, a bug."""
+        if self._aborting:
+            raise Aborted()
+        raise SimError(
+            "blocking engine call needed to park inside the event-driven "
+            "core; use the co_* API from generator rank programs"
+        )
 
     def _signal(self, proc: SimProcess) -> None:
         """Hand the baton to ``proc`` (the caller must hold it).
@@ -815,6 +970,8 @@ class Engine:
 
     def _switch_to(self, nxt: SimProcess, proc: SimProcess) -> None:
         """Signal ``nxt`` and park the calling thread until re-signalled."""
+        if self._ev:
+            self._no_blocking_park()
         self._switches += 1
         nxt.state = _State.RUNNING
         nxt.sem.release()
@@ -839,6 +996,8 @@ class Engine:
             if self._aborting:
                 raise Aborted()
             return
+        if self._ev:
+            self._no_blocking_park()
         if nxt is not None:
             self._switches += 1
             nxt.state = _State.RUNNING
@@ -878,8 +1037,25 @@ class Engine:
         ``_aborting``, raises :class:`Aborted`, marks itself DONE and
         wakes the main thread back (its ``finally`` block), so the
         handshake stays strictly sequential.
+
+        On the event-driven core the same handshake is a direct
+        ``throw``: each live continuation gets :class:`Aborted` raised
+        at its suspension point (never-started tasks surface it from
+        ``throw`` itself — their bodies never run, like a thread that
+        aborts in ``_await_first``).  A task that yields while
+        unwinding is thrown at again, mirroring a parked thread
+        re-observing ``_aborting`` after every wake.
         """
         self._aborting = True
+        if self._ev:
+            for proc in self.procs:
+                while proc.state is not _State.DONE:
+                    try:
+                        proc.task.throw(Aborted)
+                    except (StopIteration, Aborted):
+                        proc.state = _State.DONE
+                        self._n_done += 1
+            return
         for proc in self.procs:
             while proc.state is not _State.DONE:
                 try:
@@ -926,6 +1102,236 @@ class Engine:
         if self._aborting:
             raise Aborted()
 
+    # -- event-driven core --------------------------------------------------
+    #
+    # Rank programs become generators; a park is a ``yield`` carrying a
+    # scheduler directive — the SimProcess to resume next (the co code
+    # already did the heap pop and switch bookkeeping, exactly like the
+    # threaded release sites), or None to let the scheduler make the
+    # main thread's decision (finish / defensive pop / deadlock).  The
+    # co_* services below are line-by-line transliterations of their
+    # blocking twins: every ``nxt.sem.release(); proc.sem.acquire()``
+    # pair becomes ``yield nxt`` followed by the same abort check, and
+    # every heap decision and switch increment happens at the same
+    # program point — which is how bit-exactness (clocks, matrices,
+    # switch counters) against the thread-per-rank core is proven.
+    # On the threaded core the same services delegate to their blocking
+    # twins without yielding, so one canonical co implementation serves
+    # both cores (see _drive).
+
+    def _rank_main(self, proc: SimProcess, main, args, kwargs):
+        """Generator twin of :meth:`_thread_main`.
+
+        The scheduler's first ``send()`` plays the role of
+        ``_await_first``'s baton grant; completion bookkeeping (DONE,
+        handing off) lives in the scheduler, at ``StopIteration``.
+        """
+        try:
+            if self._aborting:
+                raise Aborted()
+            proc.result = yield from main(self.world, *args, **kwargs)
+            if proc.pending is not None:
+                yield from self.co_settle(proc)
+        except Aborted:
+            pass
+        except BaseException as exc:  # noqa: BLE001 - reported via RankFailure
+            proc.exc = exc
+            self._aborting = True
+
+    def _run_eventloop(self) -> None:
+        """Single-threaded scheduler: resume rank continuations directly.
+
+        One iteration of this loop is what a baton handoff costs on the
+        event core: a generator ``send`` instead of two futex syscalls
+        and an OS reschedule.  It mirrors :meth:`_main_loop` plus
+        :meth:`_thread_main`'s scheduling epilogue exactly, so switch
+        counters and the global ``(clock, rank)`` order are
+        bit-identical to the threaded core.
+        """
+        current = self._pop_ready()
+        if current is None:  # pragma: no cover - zero-rank engine
+            return
+        # _signal, minus the semaphore: the first task starts here.
+        self._switches += 1
+        current.state = _State.RUNNING
+        while True:
+            _tls.proc = current
+            self._resumes += 1
+            try:
+                nxt = current.task.send(None)
+            except StopIteration:
+                # _thread_main's finally: this rank finished/aborted.
+                current.state = _State.DONE
+                self._n_done += 1
+                nxt = None if self._aborting else self._pop_ready()
+                if nxt is not None:
+                    self._switches += 1
+                    nxt.state = _State.RUNNING
+                    current = nxt
+                    continue
+            else:
+                if nxt is not None:
+                    # The yield site already did the switch bookkeeping.
+                    current = nxt
+                    continue
+            # The main thread's decision (one _main_loop iteration).
+            if self._aborting or self._n_done == len(self.procs):
+                return
+            nxt = self._pop_ready()
+            if nxt is not None:  # pragma: no cover - defensive
+                self._switches += 1
+                nxt.state = _State.RUNNING
+                current = nxt
+                continue
+            blocked = [
+                (p.rank, f"blocked on {p.blocked_on} at t={p.clock:.6g}")
+                for p in self.procs
+                if p.state is _State.BLOCKED
+            ]
+            self._aborting = True
+            raise DeadlockError(blocked)
+
+    def _settle_scan(self, proc: SimProcess) -> Optional[SimProcess]:
+        """One settle pass for the event core: materialize due deferred
+        sends until ``proc``'s own send is done (return None) or a rank
+        continuation must run first (return it — the caller parks).
+
+        This is the park-free common case of :meth:`co_settle`, split
+        out as a plain method so the per-send settle costs no generator
+        allocation; :meth:`_co_settle_park` is its rare yielding tail.
+        """
+        heap = self._ready_heap
+        ph = self._pending_heap
+        pop = heapq.heappop
+        # settle()'s scan-materialize loop, verbatim.
+        while True:
+            t = None
+            while heap:
+                e = heap[0]
+                p = e[3]
+                if p.ready_seq == e[2]:
+                    if e[4] is None:
+                        if p.state is _State.READY:
+                            t = e
+                            break
+                    elif p.state is _State.BLOCKED:
+                        t = e
+                        break
+                pop(heap)
+            if ph:
+                p = ph[0]
+                if t is None or p[0] < t[0] or \
+                        (p[0] == t[0] and p[1] < t[1]):
+                    pop(ph)
+                    owner = self._materialize(p[3])
+                    if owner is not None:
+                        return owner
+                    if proc.pending is None:
+                        return None
+                    continue
+            if t is None:
+                if proc.pending is not None:  # pragma: no cover - invariant
+                    raise SimError("deferred send lost from the queue")
+                return None
+            entry = pop(heap)
+            nxt = entry[3]
+            if entry[4] is _PHANTOM:
+                wo = nxt.wait_obj
+                if wo is not None and wo._msg is not None:
+                    return nxt
+                self._phantom_elisions += 1
+                continue
+            return nxt
+
+    def _co_settle_park(self, proc: SimProcess, nxt: SimProcess):
+        """Yielding tail of :meth:`co_settle`: park for ``nxt``, then
+        keep settling until ``proc``'s deferred send is materialized."""
+        while True:
+            proc.pending[_PS_PARKED] = True
+            proc.state = _State.READY
+            self._switches += 1
+            nxt.state = _State.RUNNING
+            yield nxt
+            if self._aborting:
+                raise Aborted()
+            proc.state = _State.RUNNING
+            proc.blocked_on = ""
+            if proc.pending is None:
+                return
+            nxt = self._settle_scan(proc)
+            if nxt is None:
+                return
+
+    def co_settle(self, proc: SimProcess):
+        """Continuation twin of :meth:`settle` (idempotent: no-op when
+        nothing is pending, so co code may pre-settle right before
+        blocking library calls that settle internally — the inner
+        settle then no-ops and the engine op order is unchanged)."""
+        if not self._ev:
+            if proc.pending is not None:
+                self.settle(proc)
+            return
+        if proc.pending is None:
+            return
+        nxt = self._settle_scan(proc)
+        if nxt is not None:
+            yield from self._co_settle_park(proc, nxt)
+
+    def co_block(self, proc: SimProcess, reason: Any):
+        """Continuation twin of :meth:`block`."""
+        if not self._ev:
+            self.block(proc, reason)
+            return
+        proc.state = _State.BLOCKED
+        proc.blocked_on = reason
+        o = self._obs
+        if o is not None:
+            o.note_block(len(self._ready_heap))
+        nxt = self._pop_ready()
+        if nxt is not proc:
+            if nxt is not None:
+                self._switches += 1
+                nxt.state = _State.RUNNING
+                yield nxt
+            else:
+                yield None
+        else:
+            self._self_handoffs += 1
+        if self._aborting:
+            raise Aborted()
+        proc.state = _State.RUNNING
+        proc.blocked_on = ""
+
+    def co_give_way(self, proc: SimProcess):
+        """Continuation twin of :meth:`maybe_yield` (give way to ranks
+        behind in virtual time; includes :meth:`_handoff_from`)."""
+        if not self._ev:
+            self.maybe_yield(proc)
+            return
+        if self._fast:
+            return
+        if proc.pending is not None:
+            yield from self.co_settle(proc)
+        f = self.min_ready_clock()
+        if f is not None and f < proc.clock:
+            self._set_ready(proc)
+            # _handoff_from, transliterated.
+            nxt = self._pop_ready()
+            if nxt is proc:
+                self._self_handoffs += 1
+                proc.state = _State.RUNNING
+                if self._aborting:
+                    raise Aborted()
+                return
+            if nxt is not None:
+                self._switches += 1
+                nxt.state = _State.RUNNING
+                yield nxt
+            else:  # pragma: no cover - defensive (we are in the heap)
+                yield None
+            if self._aborting:
+                raise Aborted()
+
     # -- primitives used by the communicator layer ---------------------------
 
     def block(self, proc: SimProcess, reason: Any) -> None:
@@ -941,6 +1347,8 @@ class Engine:
             o.note_block(len(self._ready_heap))
         nxt = self._pop_ready()
         if nxt is not proc:
+            if self._ev:
+                self._no_blocking_park()
             if nxt is not None:
                 self._switches += 1
                 nxt.state = _State.RUNNING

@@ -47,12 +47,17 @@ class FileSystem:
         self.bytes_written = np.zeros(n, dtype=np.uint64)
         self.bytes_read = np.zeros(n, dtype=np.uint64)
         self.files: Dict[str, "File"] = {}
-        engine.mpit.register_pvar(
+        self._register_pvars(engine.mpit)
+
+    def _register_pvars(self, mpit) -> None:
+        """Expose the byte counters; re-run against the fresh MPI_T
+        registry when a pickled engine is thawed."""
+        mpit.register_pvar(
             "io_monitoring_bytes_written",
             reader=lambda rank: self.bytes_written[rank : rank + 1],
             doc="bytes this process wrote through MPI-IO",
         )
-        engine.mpit.register_pvar(
+        mpit.register_pvar(
             "io_monitoring_bytes_read",
             reader=lambda rank: self.bytes_read[rank : rank + 1],
             doc="bytes this process read through MPI-IO",
@@ -72,6 +77,14 @@ class FileSystem:
         """Stream ``nbytes`` through the shared FS, advancing the
         calling rank's clock (ops serialize on the storage resource)."""
         self.engine.maybe_yield(proc)
+        self._stream(proc, nbytes)
+
+    def co_transfer(self, proc, nbytes: int):
+        """Resumable :meth:`transfer`."""
+        yield from self.engine.co_give_way(proc)
+        self._stream(proc, nbytes)
+
+    def _stream(self, proc, nbytes: int) -> None:
         start = max(proc.clock + self.params.latency, self._busy_until)
         dur = nbytes / self.params.bandwidth
         self._busy_until = start + dur
@@ -93,6 +106,19 @@ class File:
 
     @classmethod
     def open(cls, comm, name: str) -> "File":
+        f = cls._lookup(comm, name)
+        comm.barrier()
+        return f
+
+    @classmethod
+    def co_open(cls, comm, name: str):
+        """Resumable :meth:`open`."""
+        f = cls._lookup(comm, name)
+        yield from comm.co_barrier()
+        return f
+
+    @classmethod
+    def _lookup(cls, comm, name: str) -> "File":
         fs = FileSystem.of(comm.engine)
         seq = comm._split_seq()
         key = ("file", comm.id, seq, name)
@@ -101,11 +127,15 @@ class File:
             f = fs.files.get(name) or cls(fs, comm, name)
             fs.files[name] = f
             comm.engine.comm_registry[key] = f
-        comm.barrier()
         return f
 
     def close(self) -> None:
         self.comm.barrier()
+        self._closed = True
+
+    def co_close(self):
+        """Resumable :meth:`close`."""
+        yield from self.comm.co_barrier()
         self._closed = True
 
     # -- independent operations ---------------------------------------------
@@ -116,8 +146,18 @@ class File:
         buf = Buffer.wrap(data, nbytes)
         proc = self.comm._current()
         self.fs.transfer(proc, buf.nbytes)
-        rank = proc.rank
-        self.fs.bytes_written[rank] += np.uint64(buf.nbytes)
+        return self._note_write(proc, offset, buf)
+
+    def co_write_at(self, offset: int, data=None, nbytes: Optional[int] = None):
+        """Resumable :meth:`write_at`."""
+        self._check()
+        buf = Buffer.wrap(data, nbytes)
+        proc = self.comm._current()
+        yield from self.fs.co_transfer(proc, buf.nbytes)
+        return self._note_write(proc, offset, buf)
+
+    def _note_write(self, proc, offset: int, buf: Buffer) -> int:
+        self.fs.bytes_written[proc.rank] += np.uint64(buf.nbytes)
         if buf.payload is not None:
             raw = self._encode(buf.payload)
             self._data[offset] = raw
@@ -133,6 +173,14 @@ class File:
         self.fs.bytes_read[proc.rank] += np.uint64(nbytes)
         return self._data.get(offset)
 
+    def co_read_at(self, offset: int, nbytes: int):
+        """Resumable :meth:`read_at`."""
+        self._check()
+        proc = self.comm._current()
+        yield from self.fs.co_transfer(proc, nbytes)
+        self.fs.bytes_read[proc.rank] += np.uint64(nbytes)
+        return self._data.get(offset)
+
     # -- collective operations ------------------------------------------------
 
     def write_at_all(self, offset: int, data=None,
@@ -145,11 +193,27 @@ class File:
         my_offset = offset + self.comm.rank * buf.nbytes
         return self.write_at(my_offset, data=buf)
 
+    def co_write_at_all(self, offset: int, data=None,
+                        nbytes: Optional[int] = None):
+        """Resumable :meth:`write_at_all`."""
+        self._check()
+        yield from self.comm.co_barrier()
+        buf = Buffer.wrap(data, nbytes)
+        my_offset = offset + self.comm.rank * buf.nbytes
+        return (yield from self.co_write_at(my_offset, data=buf))
+
     def read_at_all(self, offset: int, nbytes: int):
         self._check()
         self.comm.barrier()
         my_offset = offset + self.comm.rank * nbytes
         return self.read_at(my_offset, nbytes)
+
+    def co_read_at_all(self, offset: int, nbytes: int):
+        """Resumable :meth:`read_at_all`."""
+        self._check()
+        yield from self.comm.co_barrier()
+        my_offset = offset + self.comm.rank * nbytes
+        return (yield from self.co_read_at(my_offset, nbytes))
 
     # -- metadata ---------------------------------------------------------------
 

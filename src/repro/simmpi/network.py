@@ -50,6 +50,40 @@ __all__ = ["LinkParams", "NetworkParams", "Network", "plafrim_params", "ib_pair_
 #: ``_JITTER_BLOCK / 2`` messages.
 _JITTER_BLOCK = 1024
 
+#: Worlds at or above this rank count build lazy per-pair route views
+#: instead of the dense n² tables (override with ``lazy_routes=``).
+#: 4096 ranks would otherwise materialize ~2 GB of mirrors before the
+#: first message moves.
+_LAZY_THRESHOLD = 1024
+
+
+class _LazyPairView(dict):
+    """Flat ``src * n + dst``-indexed mapping, computed on first touch.
+
+    Drop-in for the dense list mirrors: every consumer (engine send
+    materialization, replay scoring, obs link accounting) only ever
+    does ``view[pair]``, and dict indexing with ``__missing__`` makes
+    that resolve-and-memoize.  A 4096-rank world touches the pairs its
+    communication pattern actually uses — thousands, not 16.7 million.
+    """
+
+    __slots__ = ("_resolve",)
+
+    def __init__(self, resolve):
+        super().__init__()
+        self._resolve = resolve
+
+    def __missing__(self, key: int):
+        value = self._resolve(key)
+        self[key] = value
+        return value
+
+    # Bound-method resolvers survive pickling (the instance travels by
+    # reference), but the memo does not need to: thaw empty and let
+    # entries recompute.
+    def __reduce__(self):
+        return (_LazyPairView, (self._resolve,))
+
 
 @dataclass(frozen=True)
 class LinkParams:
@@ -176,6 +210,7 @@ class Network:
         params: NetworkParams,
         seed: int = 0,
         record_nic: bool = True,
+        lazy_routes: Optional[bool] = None,
     ):
         self.topology = topology
         self.binding = list(binding)
@@ -197,7 +232,13 @@ class Network:
         self._jit_blk: List[float] = []
         self._jit_pos = 0
         self.n_messages = 0
-        self._build_routes()
+        if lazy_routes is None:
+            lazy_routes = len(self.binding) >= _LAZY_THRESHOLD
+        self.lazy_routes = bool(lazy_routes)
+        if self.lazy_routes:
+            self._build_routes_lazy()
+        else:
+            self._build_routes()
 
     # -- route tables ------------------------------------------------------
 
@@ -296,6 +337,176 @@ class Network:
         # Plain attribute (not a property): read once per receive
         # completion on the hot path.
         self.recv_overhead = params.recv_overhead
+
+    # -- lazy route views (big worlds) -------------------------------------
+
+    def _build_routes_lazy(self) -> None:
+        """O(n) route construction: per-pair views resolve on demand.
+
+        The dense builder materializes six (n, n) arrays plus eight
+        n²-element list mirrors — ~2 GB and tens of seconds at 4096
+        ranks, before the first message moves.  Here only the O(n)
+        ingredients are kept (PU per rank, node per rank, per-depth
+        link LUTs) and every mirror becomes a :class:`_LazyPairView`
+        memoizing ``src * n + dst -> value``.  Resolved entries carry
+        the same Python floats the dense tables would, so ``transfer``
+        arithmetic — and therefore every virtual clock — is
+        bit-identical across the two modes.
+
+        The dense 2D ``route_*`` arrays are not built (set to None):
+        their only consumers are diagnostics that are meaningless at a
+        scale where they would not fit in memory anyway.
+        ``route_classes`` is still computed exactly, in dense
+        first-appearance order, by scanning rows until every achievable
+        sharing class has been seen (almost always just row 0).
+        """
+        topo = self.topology
+        params = self.params
+        pu = np.asarray(self.binding, dtype=np.int64)
+        n = len(self.binding)
+        self._n_ranks = n
+        strides = [int(s) for s in topo._strides]
+        depth = len(strides)
+        self._pu_l = pu.tolist()
+        self._strides_l = strides
+        self._depth = depth
+        self._rank_node_l = (pu // strides[0]).tolist()
+        self._has_mem = bool(params.mem_bandwidth)
+
+        # Which common-ancestor depths exist at all, without touching
+        # any pair: depth d (0 < d < depth) is achievable iff some
+        # level-(d-1) component contains PUs from >= 2 distinct
+        # level-d subcomponents; 0 iff there are >= 2 nodes; `depth`
+        # always (the diagonal).
+        achievable = {depth}
+        if n > 1:
+            if np.unique(pu // strides[0]).size > 1:
+                achievable.add(0)
+            for d in range(1, depth):
+                outer = pu // strides[d - 1]
+                inner = pu // strides[d]
+                pairs = np.unique(np.stack([outer, inner]), axis=1)
+                if pairs.shape[1] > np.unique(pairs[0]).size:
+                    achievable.add(d)
+
+        # First-appearance (row-major) order, matching the dense
+        # builder observable for route_classes: scan whole rows
+        # vectorized, stop once every achievable depth has appeared.
+        order: List[int] = []
+        seen: set = set()
+        for src in range(n):
+            row = np.zeros(n, dtype=np.int64)
+            pu_src = int(pu[src])
+            for stride in strides:
+                row += (pu // stride) == (pu_src // stride)
+            vals, first = np.unique(row, return_index=True)
+            for i in np.argsort(first, kind="stable"):
+                d = int(vals[i])
+                if d not in seen:
+                    seen.add(d)
+                    order.append(d)
+            if len(seen) == len(achievable):
+                break
+
+        class_names: List[str] = []
+        lut_idx = [-1] * (depth + 1)
+        lut_alpha = [0.0] * (depth + 1)
+        lut_bw = [1.0] * (depth + 1)
+        for d in order:
+            if d == 0:
+                cls = "cluster"
+            elif d == depth:
+                cls = "self"
+            else:
+                cls = topo._names[d - 1]
+            lut_idx[d] = len(class_names)
+            class_names.append(cls)
+            lp = params.link_for(cls, topo)
+            lut_alpha[d] = lp.latency
+            lut_bw[d] = lp.bandwidth
+        self.route_classes = tuple(class_names)
+        self._lut_idx = lut_idx
+        self._lut_alpha = lut_alpha
+        self._lut_bw = lut_bw
+
+        self.route_class = None
+        self.route_alpha = None
+        self.route_inv_bw = None
+        self.route_src_node = None
+        self.route_dst_node = None
+        self.route_cross = None
+
+        self._pair_l = _LazyPairView(self._resolve_pair)
+        self._alpha_l = _LazyPairView(self._resolve_alpha)
+        self._bw_l = _LazyPairView(self._resolve_bw)
+        self._src_l = _LazyPairView(self._resolve_src)
+        self._dst_l = _LazyPairView(self._resolve_dst)
+        self._cross_l = _LazyPairView(self._resolve_cross)
+        self._nic_l = _LazyPairView(self._resolve_nic)
+        self._mem_l = _LazyPairView(self._resolve_mem)
+        self._cls_l = _LazyPairView(self._resolve_cls)
+        self._clsidx_l = _LazyPairView(self._resolve_clsidx)
+        self._o_send = float(params.send_overhead)
+        self._mem_bw = params.mem_bandwidth
+        self.recv_overhead = params.recv_overhead
+
+    def _common_depth(self, src: int, dst: int) -> int:
+        """Number of topology levels the two ranks' PUs share.
+
+        Components are nested, so equality at a deep level implies
+        equality at every shallower one — the first mismatch ends the
+        count."""
+        pu_s = self._pu_l[src]
+        pu_d = self._pu_l[dst]
+        d = 0
+        for stride in self._strides_l:
+            if pu_s // stride != pu_d // stride:
+                break
+            d += 1
+        return d
+
+    def _resolve_pair(self, key: int) -> Tuple:
+        src, dst = divmod(key, self._n_ranks)
+        d = self._common_depth(src, dst)
+        cross = d == 0
+        return (
+            self._lut_alpha[d],
+            self._lut_bw[d],
+            self._rank_node_l[src],
+            self._rank_node_l[dst],
+            cross and self._record_nic,
+            cross and self.params.nic_serialize,
+            self._has_mem and d != self._depth,
+        )
+
+    def _resolve_alpha(self, key: int) -> float:
+        return self._pair_l[key][0]
+
+    def _resolve_bw(self, key: int) -> float:
+        return self._pair_l[key][1]
+
+    def _resolve_src(self, key: int) -> int:
+        return self._pair_l[key][2]
+
+    def _resolve_dst(self, key: int) -> int:
+        return self._pair_l[key][3]
+
+    def _resolve_cross(self, key: int) -> bool:
+        # The raw cross-node predicate (dense ``_cross_l``), not the
+        # record_nic-gated ``counted`` field of the pair tuple.
+        return self._common_depth(*divmod(key, self._n_ranks)) == 0
+
+    def _resolve_nic(self, key: int) -> bool:
+        return self._pair_l[key][5]
+
+    def _resolve_mem(self, key: int) -> bool:
+        return self._pair_l[key][6]
+
+    def _resolve_clsidx(self, key: int) -> int:
+        return self._lut_idx[self._common_depth(*divmod(key, self._n_ranks))]
+
+    def _resolve_cls(self, key: int) -> str:
+        return self.route_classes[self._clsidx_l[key]]
 
     # -- jitter ----------------------------------------------------------
 

@@ -37,6 +37,19 @@ class Window:
     @classmethod
     def create(cls, comm, local_data: Any = None, nbytes: Optional[int] = None) -> "Window":
         """Collective window creation (synchronizes like MPI_Win_create)."""
+        win = cls._lookup(comm, local_data, nbytes)
+        win.fence()
+        return win
+
+    @classmethod
+    def co_create(cls, comm, local_data: Any = None, nbytes: Optional[int] = None):
+        """Resumable :meth:`create`."""
+        win = cls._lookup(comm, local_data, nbytes)
+        yield from win.co_fence()
+        return win
+
+    @classmethod
+    def _lookup(cls, comm, local_data, nbytes) -> "Window":
         seq = comm._split_seq()
         reg_key = ("win", comm.id, seq)
         win = comm.engine.comm_registry.get(reg_key)
@@ -47,7 +60,6 @@ class Window:
         buf = Buffer.wrap(local_data, nbytes)
         win._memory[me] = buf.payload
         win._nbytes[me] = buf.nbytes
-        win.fence()
         return win
 
     # -- epochs -----------------------------------------------------------
@@ -65,6 +77,18 @@ class Window:
                         category="osc")
             req.wait()
 
+    def co_fence(self):
+        """Resumable :meth:`fence`."""
+        comm = self.comm
+        ctx = ("osc-fence", self.id, self._fence_seq())
+        me, size = comm.rank, comm.size
+        token = Buffer(None, nbytes=0)
+        for k in range(ceil_log2(size)) if size > 1 else []:
+            dist = 1 << k
+            req = comm._irecv((me - dist) % size, tag=k, context=ctx)
+            yield from comm._co_isend(token, (me + dist) % size, k, ctx, "osc")
+            yield from req.co_wait()
+
     def _fence_seq(self) -> int:
         proc = self.comm._current()
         key = ("fence_seq", self.id)
@@ -80,10 +104,25 @@ class Window:
         comm._check_rank(target)
         proc = comm._current()
         buf = Buffer.wrap(value, nbytes)
+        comm.engine.maybe_yield(proc)
+        self._put_body(proc, buf, target)
+
+    def co_put(self, value: Any, target: int, nbytes: Optional[int] = None):
+        """Resumable :meth:`put`."""
+        comm = self.comm
+        comm._check_rank(target)
+        proc = comm._current()
+        buf = Buffer.wrap(value, nbytes)
+        yield from comm.engine.co_give_way(proc)
+        self._put_body(proc, buf, target)
+
+    def _put_body(self, proc, buf: Buffer, target: int) -> None:
+        # Everything after the give-way is park-free: record, charge,
+        # transfer, and the memory copy at the origin's clock.
+        comm = self.comm
         engine = comm.engine
         origin_w = proc.rank
         target_w = comm.world_rank(target)
-        engine.maybe_yield(proc)
         t_pre = proc.clock
         recorded = engine.pml.record(origin_w, target_w, buf.nbytes, "osc")
         if recorded:
@@ -108,11 +147,24 @@ class Window:
         comm = self.comm
         comm._check_rank(target)
         proc = comm._current()
+        n = self._nbytes.get(target, 0) if nbytes is None else int(nbytes)
+        comm.engine.maybe_yield(proc)
+        return self._get_body(proc, n, target)
+
+    def co_get(self, target: int, nbytes: Optional[int] = None):
+        """Resumable :meth:`get`."""
+        comm = self.comm
+        comm._check_rank(target)
+        proc = comm._current()
+        n = self._nbytes.get(target, 0) if nbytes is None else int(nbytes)
+        yield from comm.engine.co_give_way(proc)
+        return self._get_body(proc, n, target)
+
+    def _get_body(self, proc, n: int, target: int) -> Any:
+        comm = self.comm
         engine = comm.engine
         origin_w = proc.rank
         target_w = comm.world_rank(target)
-        n = self._nbytes.get(target, 0) if nbytes is None else int(nbytes)
-        engine.maybe_yield(proc)
         t_pre = proc.clock
         recorded = engine.pml.record(target_w, origin_w, n, "osc")
         if recorded:
@@ -143,6 +195,17 @@ class Window:
         if existing is not None and buf.payload is not None:
             self._memory[target] = op(existing, buf.payload)
 
+    def co_accumulate(self, value: Any, target: int, op,
+                      nbytes: Optional[int] = None):
+        """Resumable :meth:`accumulate`."""
+        comm = self.comm
+        comm._check_rank(target)
+        buf = Buffer.wrap(value, nbytes)
+        existing = self._memory.get(target)
+        yield from self.co_put(value, target, nbytes=buf.nbytes)
+        if existing is not None and buf.payload is not None:
+            self._memory[target] = op(existing, buf.payload)
+
     # -- local access -----------------------------------------------------
 
     def local(self) -> Any:
@@ -151,3 +214,7 @@ class Window:
 
     def free(self) -> None:
         self.fence()
+
+    def co_free(self):
+        """Resumable :meth:`free`."""
+        yield from self.co_fence()

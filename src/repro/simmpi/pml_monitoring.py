@@ -83,9 +83,36 @@ PVAR_NAMES: Dict[str, Tuple[str, str]] = {
 }
 
 
+class _LazyMatrices(dict):
+    """Per-category (n, n) matrices, allocated on first touch.
+
+    A 10k-rank world would pay ~800 MB up front for six eagerly zeroed
+    uint64 matrices even when monitoring never records a byte; most
+    runs touch one or two categories.  A zeros matrix materialized on
+    first read is observationally identical to one allocated at
+    construction, so nothing downstream can tell the difference.
+    """
+
+    __slots__ = ("_n",)
+
+    def __init__(self, world_size: int):
+        super().__init__()
+        self._n = world_size
+
+    def __missing__(self, category: str) -> np.ndarray:
+        if category not in CATEGORIES:
+            raise KeyError(category)
+        matrix = np.zeros((self._n, self._n), dtype=np.uint64)
+        self[category] = matrix
+        return matrix
+
+
 class _FlushingMatrices:
     """Mapping view over the per-category matrices that flushes the
-    pending accumulators for a category before handing out its array."""
+    pending accumulators for a category before handing out its array.
+
+    Iteration covers every category, touched or not — the view hides
+    the laziness of the backing store."""
 
     __slots__ = ("_pml", "_arrays")
 
@@ -98,16 +125,16 @@ class _FlushingMatrices:
         return self._arrays[category]
 
     def __iter__(self):
-        return iter(self._arrays)
+        return iter(CATEGORIES)
 
     def __len__(self) -> int:
-        return len(self._arrays)
+        return len(CATEGORIES)
 
     def keys(self):
-        return self._arrays.keys()
+        return CATEGORIES
 
     def items(self):
-        for cat in self._arrays:
+        for cat in CATEGORIES:
             yield cat, self[cat]
 
 
@@ -121,13 +148,10 @@ class PmlMonitoring:
         self._mode = 0
         # counts[cat][i, j] = messages process i sent to process j;
         # sizes[cat][i, j] = bytes.  Row i is process i's local state —
-        # the simulator simply co-locates all rows in one array.
-        self._counts: Dict[str, np.ndarray] = {
-            c: np.zeros((world_size, world_size), dtype=np.uint64) for c in CATEGORIES
-        }
-        self._sizes: Dict[str, np.ndarray] = {
-            c: np.zeros((world_size, world_size), dtype=np.uint64) for c in CATEGORIES
-        }
+        # the simulator simply co-locates all rows in one array.  The
+        # matrices are allocated per category on first touch.
+        self._counts: Dict[str, np.ndarray] = _LazyMatrices(world_size)
+        self._sizes: Dict[str, np.ndarray] = _LazyMatrices(world_size)
         # Pending accumulators: (src, dst) -> [count, bytes] as plain
         # ints; flushed into the numpy matrices on read.
         self._pend: Dict[str, Dict[Tuple[int, int], list]] = {
@@ -153,6 +177,26 @@ class PmlMonitoring:
         self._obs_batch_hist = None
         if mpit is not None:
             self.register(mpit)
+
+    # -- pickling ----------------------------------------------------------
+
+    # The runtime taps are rebound by whoever thaws the object (the
+    # engine's ``__setstate__`` re-installs ``sync``; tracers and the
+    # obs histogram re-attach themselves): only the counter state
+    # itself travels.
+    _EPHEMERAL = ("trace_hook", "sync", "_obs_batch_hist")
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        for key in self._EPHEMERAL:
+            state.pop(key, None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self.trace_hook = None
+        self.sync = None
+        self._obs_batch_hist = None
 
     # -- MPI_T surface ----------------------------------------------------
 
@@ -181,11 +225,12 @@ class PmlMonitoring:
             )
 
     def _make_reader(self, category: str, arrays: Dict[str, np.ndarray]):
-        matrix = arrays[category]
-
+        # Fetch the matrix inside the reader, not at registration:
+        # registering the pvars must not materialize six (n, n)
+        # matrices on a world that may never monitor anything.
         def reader(rank: int) -> np.ndarray:
             self._flush(category)
-            return matrix[rank]
+            return arrays[category][rank]
 
         return reader
 
@@ -383,14 +428,24 @@ class PmlMonitoring:
         """Zero all matrices (used by tests; sessions never need this)."""
         for cat in CATEGORIES:
             self._pend[cat].clear()
-            self._counts[cat][:] = 0
-            self._sizes[cat][:] = 0
+            counts = self._counts.get(cat)
+            if counts is not None:
+                counts[:] = 0
+            sizes = self._sizes.get(cat)
+            if sizes is not None:
+                sizes[:] = 0
             self._epochs[cat] += 1
 
     def totals(self, category: str) -> Tuple[int, int]:
         """(messages, bytes) recorded in one category, all processes."""
+        if category not in CATEGORIES:
+            raise KeyError(category)
         self._flush(category)
+        counts = self._counts.get(category)
+        if counts is None:
+            # Never touched: summing would only materialize zeros.
+            return (0, 0)
         return (
-            int(self._counts[category].sum()),
+            int(counts.sum()),
             int(self._sizes[category].sum()),
         )

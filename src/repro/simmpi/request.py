@@ -16,16 +16,29 @@ from __future__ import annotations
 from typing import Hashable, Iterable, List, Optional
 
 from repro.simmpi.engine import _tls, current_process
+from repro.simmpi.engine import Aborted as _Aborted
+from repro.simmpi.engine import _State as _St
 from repro.simmpi.errorsim import SimError
 from repro.simmpi.match import Message
 
-__all__ = ["Request", "SendRequest", "RecvRequest", "waitall"]
+__all__ = ["Request", "SendRequest", "RecvRequest", "waitall", "co_waitall"]
 
 
 class Request:
-    """Base request; subclasses define completion semantics."""
+    """Base request; subclasses define completion semantics.
+
+    Every request offers two completion idioms: the blocking
+    :meth:`wait` (thread-per-rank engine) and the resumable
+    :meth:`co_wait` generator (``yield from req.co_wait()`` from co
+    rank programs).  Under the threaded engine ``co_wait`` degenerates
+    to the blocking path without ever yielding, so co-style library
+    code runs unmodified on both cores.
+    """
 
     def wait(self):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def co_wait(self):  # pragma: no cover - interface
         raise NotImplementedError
 
     def test(self) -> bool:  # pragma: no cover - interface
@@ -42,6 +55,10 @@ class SendRequest(Request):
 
     def wait(self) -> None:
         return None
+
+    def co_wait(self):
+        return None
+        yield  # pragma: no cover - unreachable; makes this a generator
 
     def test(self) -> bool:
         return True
@@ -120,6 +137,69 @@ class RecvRequest(Request):
             rr.on_recv(proc, t_pre, msg)
         return msg
 
+    def co_wait(self):
+        """Resumable twin of :meth:`wait` for co rank programs.
+
+        Byte-for-byte the same engine call sequence as :meth:`wait`
+        with the parking primitives swapped for their ``co_``
+        counterparts; under the threaded engine those delegate to the
+        blocking ones without yielding, so both spellings are
+        equivalent there by construction.
+        """
+        proc = self.proc
+        engine = proc.engine
+        if proc is not getattr(_tls, "proc", None):
+            raise SimError("a request must be waited by the rank that posted it")
+        if self._msg is None or proc.pending is not None:
+            # wait_obj before settling, exactly like wait(): the engine
+            # must know the wait target while the deferred send is
+            # materialized so spurious wakes become phantom entries.
+            proc.wait_obj = self
+            try:
+                if not engine._ev:
+                    if proc.pending is not None:
+                        engine.settle(proc)
+                    while self._msg is None:
+                        engine.block(proc, self)
+                else:
+                    # Engine.co_settle and Engine.co_block, inlined:
+                    # this is the per-wait hot path, and a sub-generator
+                    # allocation per park is measurable.  Keep in sync
+                    # with engine.py.
+                    if proc.pending is not None:
+                        nxt = engine._settle_scan(proc)
+                        if nxt is not None:
+                            yield from engine._co_settle_park(proc, nxt)
+                    while self._msg is None:
+                        proc.state = _St.BLOCKED
+                        proc.blocked_on = self
+                        o = engine._obs
+                        if o is not None:
+                            o.note_block(len(engine._ready_heap))
+                        nxt = engine._pop_ready()
+                        if nxt is not proc:
+                            if nxt is not None:
+                                engine._switches += 1
+                                nxt.state = _St.RUNNING
+                                yield nxt
+                            else:
+                                yield None
+                        else:
+                            engine._self_handoffs += 1
+                        if engine._aborting:
+                            raise _Aborted()
+                        proc.state = _St.RUNNING
+                        proc.blocked_on = ""
+            finally:
+                proc.wait_obj = None
+        msg = self._msg
+        t_pre = proc.clock
+        proc.clock = max(t_pre, msg.arrival) + engine.network.recv_overhead
+        rr = engine._rr
+        if rr is not None:
+            rr.on_recv(proc, t_pre, msg)
+        return msg
+
     def test(self) -> bool:
         """Non-advancing completion check (no clock movement)."""
         self._settle_sender()
@@ -132,4 +212,12 @@ def waitall(requests: Iterable[Request]) -> List[Optional[Message]]:
     out: List[Optional[Message]] = []
     for req in requests:
         out.append(req.wait())
+    return out
+
+
+def co_waitall(requests: Iterable[Request]):
+    """Resumable :func:`waitall` (same order, same semantics)."""
+    out: List[Optional[Message]] = []
+    for req in requests:
+        out.append((yield from req.co_wait()))
     return out

@@ -1,0 +1,217 @@
+"""Event-driven core: golden equivalence and scheduler unit tests.
+
+The event-driven core (one continuation per rank, zero OS threads)
+must be *bit-exact* against the same golden snapshots the threaded
+engine is pinned to — clocks, monitoring matrices, NIC counters, and
+switch counts (a switch is a scheduler resume on the event core).
+The A/B tests here also drive the *same generator program* on both
+cores and compare full snapshots, so the equivalence is established
+against a live threaded run, not only against the checked-in file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.simmpi import (
+    SUM,
+    Cluster,
+    DeadlockError,
+    Engine,
+    RankFailure,
+    SimError,
+    Topology,
+    current_process,
+)
+
+from scripts.capture_hotpath_golden import snapshot_engine
+from tests.golden.hotpath_workloads_ev import WORKLOADS_EV
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "golden", "hotpath_golden.json"
+)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH, encoding="ascii") as fh:
+        return json.load(fh)
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS_EV))
+def test_eventloop_matches_seed_golden(name, golden):
+    """The event core reproduces the seed snapshots bit-for-bit —
+    including ``switches``, i.e. the continuation scheduler resumes
+    ranks in exactly the order the baton-passing threads ran."""
+    engine, results = WORKLOADS_EV[name]()
+    assert engine._ev  # really ran on the event core
+    snap = snapshot_engine(engine)
+    snap["results"] = results
+    expected = golden[name]
+    assert sorted(snap) == sorted(expected)
+    for key in expected:
+        assert snap[key] == expected[key], f"{name}: {key} diverged from seed"
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS_EV))
+def test_eventloop_counts_resumes(name):
+    """On the event core every switch is a ``task.send()`` resume, so
+    the two counters tick together (the golden run pins their value)."""
+    engine, _ = WORKLOADS_EV[name]()
+    assert engine.resumes == engine._resumes
+    assert engine.resumes == engine.switches
+    assert engine.resumes > 0
+
+
+# -- A/B: the same generator program on both cores --------------------------
+
+
+def _mixed_generator_program(comm):
+    me, n = comm.rank, comm.size
+    out = []
+    yield from comm.co_barrier()
+    for it in range(3):
+        msg = yield from comm.co_sendrecv(
+            np.float64(me), dest=(me + 1) % n, source=(me - 1) % n,
+            sendtag=it, recvtag=it, nbytes=10_000,
+        )
+        out.append(float(msg.payload))
+    total = yield from comm.co_allreduce(np.float64(me), SUM)
+    yield from comm.co_compute(1e-4 * me)
+    t = yield from comm.co_time()
+    return out, float(total), t
+
+
+def _run_generator_on(core: str):
+    cluster = Cluster.plafrim(1, binding="rr", jitter=0.05)
+    engine = Engine(cluster, seed=21, core=core)
+    results = engine.run(_mixed_generator_program)
+    return engine, results
+
+
+def test_generator_program_core_ab_equivalence():
+    """core='threads' drives the identical generator program on OS
+    threads; every snapshot field must match the event-core run."""
+    eng_threads, res_threads = _run_generator_on("threads")
+    eng_event, res_event = _run_generator_on("eventloop")
+    assert not eng_threads._ev
+    assert eng_event._ev
+    assert res_threads == res_event
+    assert snapshot_engine(eng_threads) == snapshot_engine(eng_event)
+
+
+def test_auto_core_picks_eventloop_for_generators():
+    cluster = Cluster.plafrim(1, binding="rr")
+    engine = Engine(cluster, seed=21)
+    assert engine.core == "auto"
+    engine.run(_mixed_generator_program)
+    assert engine._ev
+
+
+def test_eventloop_runs_on_zero_extra_threads():
+    """The headline property: no OS thread is created per rank."""
+    before = threading.active_count()
+    engine, _ = _run_generator_on("eventloop")
+    assert threading.active_count() == before
+    assert all(p.thread is None for p in engine.procs)
+    assert all(p.task is not None for p in engine.procs)
+
+
+def test_eventloop_deterministic():
+    eng_a, res_a = _run_generator_on("eventloop")
+    eng_b, res_b = _run_generator_on("eventloop")
+    assert res_a == res_b
+    assert snapshot_engine(eng_a) == snapshot_engine(eng_b)
+
+
+# -- validation and failure modes -------------------------------------------
+
+
+def test_core_validation():
+    cluster = Cluster.plafrim(1)
+    with pytest.raises(ValueError):
+        Engine(cluster, core="fibers")
+    assert Engine(cluster).core == "auto"
+
+
+def test_eventloop_rejects_plain_callable():
+    cluster = Cluster(Topology([("node", 1), ("core", 2)]), 2)
+    engine = Engine(cluster, core="eventloop")
+    with pytest.raises(SimError, match="generator"):
+        engine.run(lambda comm: comm.rank)
+
+
+def test_eventloop_rank_failure():
+    cluster = Cluster(Topology([("node", 1), ("core", 4)]), 4)
+    engine = Engine(cluster, core="eventloop")
+
+    def program(comm):
+        yield from comm.co_barrier()
+        if comm.rank == 2:
+            raise RuntimeError("rank 2 exploded")
+        yield from comm.co_barrier()
+
+    with pytest.raises(RankFailure, match="rank 2"):
+        engine.run(program)
+
+
+def test_eventloop_deadlock_detection():
+    cluster = Cluster(Topology([("node", 1), ("core", 2)]), 2)
+    engine = Engine(cluster, core="eventloop")
+
+    def program(comm):
+        # Both ranks receive, nobody sends.
+        req = comm.irecv(source=(comm.rank + 1) % comm.size, tag=0)
+        msg = yield from req.co_wait()
+        return msg
+
+    with pytest.raises(DeadlockError):
+        engine.run(program)
+
+
+def test_eventloop_restores_current_process():
+    """After a run (successful or failed) the scheduler leaves no
+    dangling thread-local process binding behind."""
+    engine, _ = _run_generator_on("eventloop")
+    with pytest.raises(SimError):
+        current_process()
+
+    cluster = Cluster(Topology([("node", 1), ("core", 2)]), 2)
+    failing = Engine(cluster, core="eventloop")
+
+    def program(comm):
+        yield from comm.co_sync()
+        raise RuntimeError("boom")
+
+    with pytest.raises(RankFailure):
+        failing.run(program)
+    with pytest.raises(SimError):
+        current_process()
+
+
+def test_eventloop_negative_compute_rejected():
+    cluster = Cluster(Topology([("node", 1), ("core", 1)]), 1)
+    engine = Engine(cluster, core="eventloop")
+
+    def program(comm):
+        yield from comm.co_compute(-1.0)
+
+    with pytest.raises(RankFailure):
+        engine.run(program)
+
+
+def test_drive_rejects_yielding_generator():
+    """_drive is the blocking bridge: a generator that actually yields
+    outside the event core is a programming error, not a hang."""
+    from repro.simmpi.engine import _drive
+
+    def co_bogus():
+        yield None
+
+    with pytest.raises(SimError):
+        _drive(co_bogus())

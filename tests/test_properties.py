@@ -7,6 +7,8 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.placement.grouping import greedy_group, symmetrize
+from repro.simmpi.cluster import Cluster
+from repro.simmpi.network import Network
 from repro.placement.mapping import (
     apply_permutation,
     invert_permutation,
@@ -173,6 +175,121 @@ def test_nic_counter_monotone(events):
     values = [nic.xmit_bytes(0, t) for t in times]
     assert all(a <= b for a, b in zip(values, values[1:]))
     assert values[-1] == sum(b for _, b in events)
+
+
+# ---------------------------------------------------------------------------
+# big worlds: lazy routes and O(n) construction
+
+
+@settings(max_examples=20, deadline=None)
+@given(level_lists, st.data())
+def test_lazy_routes_match_dense_everywhere(topo, data):
+    """Every per-pair quantity the engine, replayer, and obs layer read
+    resolves to exactly the dense table value — same Python objects'
+    worth of floats, so downstream arithmetic is bit-identical."""
+    n = data.draw(st.integers(1, min(topo.n_pus, 12)))
+    binding = data.draw(st.permutations(list(range(topo.n_pus)))).copy()[:n]
+    cl = Cluster(topo, n, binding=binding)
+    dense = Network(topo, binding, cl.params, seed=1, lazy_routes=False)
+    lazy = Network(topo, binding, cl.params, seed=1, lazy_routes=True)
+    assert lazy.lazy_routes and not dense.lazy_routes
+    assert lazy.route_classes == dense.route_classes
+    for src in range(n):
+        for dst in range(n):
+            k = src * n + dst
+            assert lazy._pair_l[k] == dense._pair_l[k]
+            assert lazy._alpha_l[k] == dense._alpha_l[k]
+            assert lazy._clsidx_l[k] == dense._clsidx_l[k]
+            assert lazy._cls_l[k] == dense._cls_l[k]
+            assert lazy._cross_l[k] == dense._cross_l[k]
+            assert lazy._cls_l[k] == topo.common_level_name(
+                binding[src], binding[dst]
+            )
+
+
+@settings(max_examples=20, deadline=None)
+@given(level_lists, st.data())
+def test_lazy_transfer_sequence_matches_dense(topo, data):
+    """A shared random message sequence produces identical
+    (sender_done, arrival) pairs and NIC horizons on both modes."""
+    n = data.draw(st.integers(1, min(topo.n_pus, 8)))
+    binding = list(range(n))
+    cl = Cluster(topo, n, binding=binding)
+    dense = Network(topo, binding, cl.params, seed=2, lazy_routes=False)
+    lazy = Network(topo, binding, cl.params, seed=2, lazy_routes=True)
+    msgs = data.draw(st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1),
+                  st.integers(0, 10**6)),
+        max_size=20,
+    ))
+    t = 0.0
+    for src, dst, nbytes in msgs:
+        rd = dense.transfer(src, dst, nbytes, t)
+        rl = lazy.transfer(src, dst, nbytes, t)
+        assert rd == rl
+        t = rd[0]
+    assert dense._nic_free == lazy._nic_free
+    assert dense._mem_free == lazy._mem_free
+
+
+@settings(max_examples=5, deadline=None)
+@given(st.sampled_from(["packed", "rr", "random"]), st.integers(0, 3))
+def test_cluster_and_network_construct_at_4096_ranks(strategy, seed):
+    """The 10k-world gate: constructors stay O(n).  A dense build at
+    this scale would allocate ~2 GB of route tables; the lazy build
+    must finish instantly and resolve sampled pairs correctly."""
+    cluster = Cluster.plafrim(171, n_ranks=4096, binding=strategy, seed=seed)
+    assert cluster.n_ranks == 4096
+    assert len(cluster.binding) == 4096
+    net = Network(cluster.topology, cluster.binding, cluster.params, seed=seed)
+    assert net.lazy_routes  # auto-selected at this scale
+    assert set(net.route_classes) <= {"self", "core", "socket", "node",
+                                      "cluster"}
+    n = 4096
+    rng = np.random.default_rng(seed)
+    for src, dst in rng.integers(0, n, size=(25, 2)):
+        k = int(src) * n + int(dst)
+        cls = net._cls_l[k]
+        assert cls == cluster.topology.common_level_name(
+            cluster.binding[src], cluster.binding[dst]
+        )
+        alpha, bw, src_node, dst_node, _, nic_gate, _ = net._pair_l[k]
+        assert src_node == cluster.node_of_rank(int(src))
+        assert dst_node == cluster.node_of_rank(int(dst))
+        assert nic_gate == (cls == "cluster")
+        assert alpha == cluster.params.link_for(cls, cluster.topology).latency
+    # Only the touched pairs were materialized.
+    assert len(net._pair_l) <= 25
+
+
+def test_topology_constructor_at_10k_pus():
+    topo = Topology([("node", 420), ("socket", 2), ("core", 12)])
+    assert topo.n_pus == 10080
+    assert topo.common_depth(0, 10079) == 0
+    assert topo.common_depth(0, 0) == topo.depth
+    binding = list(range(10080))
+    assert len(Cluster(topo, 10080, binding=binding).binding) == 10080
+
+
+def test_pml_matrices_allocate_lazily():
+    from repro.simmpi.pml_monitoring import CATEGORIES, PmlMonitoring
+
+    pml = PmlMonitoring(4096)
+    pml.set_mode(2)
+    assert len(pml._counts) == 0 and len(pml._sizes) == 0
+    # Untouched categories report zero totals without materializing a
+    # 4096 x 4096 matrix just to sum it.
+    assert pml.totals("osc") == (0, 0)
+    assert len(pml._counts) == 0
+    pml.record(7, 9, 1234, "p2p")
+    assert pml.totals("p2p") == (1, 1234)
+    assert set(pml._counts) == {"p2p"}
+    assert pml.counts["p2p"][7, 9] == 1
+    # The flushing view still iterates every category.
+    assert list(pml.counts.keys()) == list(CATEGORIES)
+    assert {cat for cat, _ in pml.sizes.items()} == set(CATEGORIES)
+    pml.reset()
+    assert pml.totals("p2p") == (0, 0)
 
 
 # ---------------------------------------------------------------------------
