@@ -14,7 +14,9 @@ metadata, then whitespace-separated numeric rows, so they load with
 
 from __future__ import annotations
 
+import contextlib
 import os
+import tempfile
 from typing import Any, Dict
 
 import numpy as np
@@ -28,12 +30,37 @@ PROFILE_SCHEMA = 1
 
 __all__ = [
     "PROFILE_SCHEMA",
+    "atomic_write",
     "local_profile_path",
     "root_profile_paths",
     "write_local_profile",
     "write_root_profiles",
     "read_profile",
 ]
+
+
+@contextlib.contextmanager
+def atomic_write(path: str, encoding: str = "utf-8"):
+    """Write ``path`` via a same-directory temp file + ``os.replace``.
+
+    Yields an open text handle.  On success the temp file atomically
+    replaces ``path``; on any error it is unlinked and the original
+    file (if one existed) is left untouched — a crashed exporter can
+    never leave a truncated JSON behind.  Same-directory placement
+    keeps the final rename on one filesystem, which is what makes it
+    atomic.
+    """
+    d = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp = tempfile.mkstemp(prefix=os.path.basename(path) + ".",
+                               suffix=".tmp", dir=d)
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as fh:
+            yield fh
+        os.replace(tmp, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        raise
 
 
 def local_profile_path(base: str, rank: int) -> str:

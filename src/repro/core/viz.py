@@ -12,7 +12,8 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-__all__ = ["render_matrix", "render_heatmap", "traffic_summary"]
+__all__ = ["render_matrix", "render_heatmap", "traffic_summary",
+           "render_bars", "render_findings"]
 
 _SHADES = " .:-=+*#%@"
 
@@ -62,6 +63,43 @@ def render_heatmap(matrix, max_size: int = 64) -> str:
                 idx = int((np.log10(v) - lo) / span * (len(_SHADES) - 1))
                 row.append(_SHADES[max(1, idx)])
         lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def render_bars(pairs: Sequence[tuple], width: int = 40,
+                title: str = "") -> str:
+    """Horizontal bar chart of ``(label, value)`` pairs.
+
+    Bars are linearly scaled to the largest value; values render with
+    thousands separators (byte totals are the common payload)."""
+    pairs = [(str(k), float(v)) for k, v in pairs]
+    if not pairs:
+        return title or ""
+    top = max(v for _, v in pairs) or 1.0
+    label_w = max(len(k) for k, _ in pairs)
+    lines = [title] if title else []
+    for label, value in pairs:
+        n = int(round(width * value / top))
+        lines.append(f"  {label:<{label_w}} {'#' * n:<{width}} "
+                     f"{value:,.0f}")
+    return "\n".join(lines)
+
+
+def render_findings(findings: Sequence[dict]) -> str:
+    """Terminal table of diagnosis findings (see repro.obs.diagnose).
+
+    Each finding dict carries ``severity``/``pass``/``subject``/
+    ``summary`` plus a ``[t0, t1]`` anchor window."""
+    if not findings:
+        return "  no findings — nothing obviously slow"
+    lines = []
+    for f in findings:
+        window = ""
+        t0, t1 = f.get("t0", 0.0), f.get("t1", 0.0)
+        if t1 > t0:
+            window = f"  [t={t0:.4g}s..{t1:.4g}s]"
+        lines.append(f"  [{f['severity']:>8}] {f['pass']:<15} "
+                     f"{f['subject']:<12} {f['summary']}{window}")
     return "\n".join(lines)
 
 

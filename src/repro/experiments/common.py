@@ -130,22 +130,32 @@ def experiment_parser(
     return parser
 
 
-def handle_trace_in(args: argparse.Namespace) -> bool:
-    """Serve ``--trace-in``: replay instead of running live.
+def handle_trace_in(args: argparse.Namespace, consumer=None) -> bool:
+    """Serve ``--trace-in``: consume a recorded trace instead of
+    running live.
 
     Call first thing in a driver's ``main``; a True return means the
     run was served from the trace and the driver should exit.  The
-    replay is *verified* (every recomputed clock cross-checked against
-    the recorded one), so a stale or corrupted trace fails loudly
-    rather than printing plausible numbers.
+    default consumer replays the trace *verified* (every recomputed
+    clock cross-checked against the recorded one), so a stale or
+    corrupted trace fails loudly rather than printing plausible
+    numbers.  Tools that want the trace itself (``repro.obs export
+    --trace-in`` / ``diagnose --trace-in``) pass a ``consumer`` called
+    with the loaded :class:`~repro.replay.schema.ReplayTrace`; its
+    return value is ignored — the shared code only owns the
+    load-and-dispatch step.
     """
     path = getattr(args, "trace_in", None)
     if not path:
         return False
-    from repro.replay.engine import replay
     from repro.replay.schema import ReplayTrace
 
     trace = ReplayTrace.load(path)
+    if consumer is not None:
+        consumer(trace)
+        return True
+    from repro.replay.engine import replay
+
     res = replay(trace, verify=True)
     total = int(res.byte_matrix().sum())
     meta = trace.meta or {}

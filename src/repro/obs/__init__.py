@@ -1,6 +1,6 @@
 """repro.obs — the unified observability layer.
 
-Three pillars:
+Four pillars:
 
 * **metrics** (:mod:`repro.obs.metrics`) — counters/gauges/histograms
   published by the engine, network, monitoring component, and session
@@ -8,9 +8,15 @@ Three pillars:
 * **spans** (:mod:`repro.obs.spans` + :mod:`repro.obs.export`) —
   begin/end tracing over *virtual* time (collectives, reorder phases,
   app iterations) plus a wall-clock self-profile lane, exported as
-  Chrome trace-event JSON for Perfetto;
-* **surfaces** — the ``python -m repro.obs`` CLI and the sweep run
-  report's per-cell telemetry.
+  Chrome trace-event JSON for Perfetto (with cross-layer counter
+  tracks and a diagnosis-findings lane);
+* **analysis** (:mod:`repro.obs.timeline` + :mod:`repro.obs.diagnose`)
+  — the columnar cross-layer timeline store joining spans, NIC/link
+  counter series and PML epochs on virtual time, plus the automated
+  "why is this slow" diagnosis passes;
+* **surfaces** — the ``python -m repro.obs`` CLI (``export`` /
+  ``diagnose`` / ``top`` / ``heatmap`` / ``validate``) and the sweep
+  run report's per-cell telemetry.
 
 The layer is **disabled by default** and near-free when off: enabling
 costs a process-wide flag read at ``Engine`` construction, and the

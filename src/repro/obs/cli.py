@@ -4,7 +4,13 @@ Subcommands:
 
 * ``export`` — run one Fig. 5 cell with the observability layer
   enabled and write the Perfetto-loadable Chrome trace (plus,
-  optionally, the metrics snapshot and the raw message trace);
+  optionally, the metrics snapshot and the raw message trace); with
+  ``--trace-in`` the trace document is built from a recorded replay
+  trace instead, no re-simulation;
+* ``diagnose`` — build the cross-layer timeline for a cell (live run
+  or ``--trace-in``) and run the automated "why is this slow" passes
+  (:mod:`repro.obs.diagnose`), printing the findings and optionally
+  writing the JSON report and an enriched Chrome trace;
 * ``top`` — hottest rank pairs (and, with a metrics snapshot, link
   classes) from a dumped message trace;
 * ``heatmap`` — terminal comm-matrix render (reuses
@@ -19,8 +25,9 @@ import json
 from typing import List, Optional
 
 from repro import obs
-from repro.obs.export import (chrome_trace, validate_chrome_trace,
-                              write_chrome_trace)
+from repro.obs.export import (chrome_trace, chrome_trace_from_timeline,
+                              validate_chrome_trace, write_chrome_trace)
+from repro.obs.metrics import dump_snapshot, load_snapshot
 
 _DEFAULT_SIZES = "1_000_000,2_000_000"
 
@@ -49,6 +56,31 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="also write the metrics snapshot as JSON")
     exp.add_argument("--messages", default=None, metavar="PATH",
                      help="also dump the raw message trace")
+    exp.add_argument("--trace-in", default=None, metavar="PATH",
+                     help="build the Perfetto trace from a recorded replay "
+                          "trace instead of re-running the cell")
+
+    dia = sub.add_parser(
+        "diagnose",
+        help='cross-layer "why is this slow" report for a cell or a trace')
+    dia.add_argument("--op", choices=["reduce", "bcast"], default="reduce")
+    dia.add_argument("--nodes", type=int, default=2,
+                     help="PlaFRIM node count (24 ranks per node)")
+    dia.add_argument("--sizes", type=parse_sizes, default=None,
+                     metavar="N,N,...",
+                     help=f"buffer sizes in ints (default {_DEFAULT_SIZES})")
+    dia.add_argument("--reps", type=int, default=1)
+    dia.add_argument("--seed", type=int, default=0)
+    dia.add_argument("--trace-in", default=None, metavar="PATH",
+                     help="diagnose a recorded replay trace instead of "
+                          "running the cell live")
+    dia.add_argument("--report", default=None, metavar="PATH",
+                     help="write the JSON report")
+    dia.add_argument("--chrome", default=None, metavar="PATH",
+                     help="also write a Chrome trace enriched with counter "
+                          "tracks and the findings lane")
+    dia.add_argument("--json", action="store_true",
+                     help="print the JSON report instead of the rendering")
 
     top = sub.add_parser("top", help="hottest rank pairs of a message trace")
     top.add_argument("--messages", required=True,
@@ -71,7 +103,15 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_export(args) -> int:
+def _instrumented_cell(args, capture_events: bool = False):
+    """Run one fig5 cell with obs enabled; returns the pieces the
+    export/diagnose commands join.
+
+    With ``capture_events`` the run is also ambiently recorded as a
+    replay trace (the event-level timeline layer); either way a
+    :class:`MessageTracer` observes per-message link traffic."""
+    import contextlib
+
     from repro.experiments.common import parse_sizes
     from repro.experiments.fig5_collectives import run_cell
     from repro.simmpi import Cluster, Engine
@@ -81,17 +121,53 @@ def _cmd_export(args) -> int:
         _DEFAULT_SIZES)
     registry, spans = obs.enable()
     try:
-        cluster = Cluster.plafrim(args.nodes, binding="rr")
-        engine = Engine(cluster, seed=args.seed)
-        tracer = MessageTracer.install(engine) if args.messages else None
-        with spans.wall_span("fig5.run_cell",
-                             {"op": args.op, "nodes": args.nodes}):
-            points = run_cell(args.op, args.nodes, sizes=sizes,
-                              reps=args.reps, seed=args.seed, engine=engine)
+        if capture_events:
+            from repro.replay import autorecord
+            recording = autorecord.capture(
+                meta={"workload": "fig5_cell", "op": args.op})
+        else:
+            recording = contextlib.nullcontext([])
+        with recording as traces:
+            cluster = Cluster.plafrim(args.nodes, binding="rr")
+            engine = Engine(cluster, seed=args.seed)
+            tracer = MessageTracer.install(engine)
+            with spans.wall_span("fig5.run_cell",
+                                 {"op": args.op, "nodes": args.nodes}):
+                points = run_cell(args.op, args.nodes, sizes=sizes,
+                                  reps=args.reps, seed=args.seed,
+                                  engine=engine)
+        trace = traces[0] if traces else None
+        return registry, spans, engine, tracer, trace, points, sizes
+    except BaseException:
+        obs.disable()
+        raise
+
+
+def _print_points(points) -> None:
+    for p in points:
+        print(f"  {p.op} np={p.np_ranks} ints={p.n_ints}: "
+              f"{p.t_baseline:.4f}s -> {p.t_reordered:.4f}s "
+              f"({p.speedup:.2f}x)")
+
+
+def _cmd_export(args) -> int:
+    from repro.experiments.common import handle_trace_in
+
+    if args.trace_in:
+        return 0 if handle_trace_in(
+            args, consumer=lambda tr: _export_from_trace(args, tr)) else 1
+
+    registry, spans, engine, tracer, _, points, sizes = \
+        _instrumented_cell(args)
+    try:
+        from repro.obs.timeline import Timeline
+
+        tl = Timeline.from_run(engine, spans=spans, tracer=tracer)
         doc = chrome_trace(
             spans, n_ranks=engine.n_ranks,
             meta={"op": args.op, "nodes": args.nodes,
-                  "sizes": list(sizes), "seed": args.seed})
+                  "sizes": list(sizes), "seed": args.seed},
+            timeline=tl)
         errors = validate_chrome_trace(doc, n_ranks=engine.n_ranks)
         if errors:  # pragma: no cover - exporter bug guard
             for e in errors:
@@ -103,20 +179,94 @@ def _cmd_export(args) -> int:
               f"(virtual makespan {engine.max_clock:.3f}s, "
               f"{engine.messages} messages)")
         if args.metrics:
-            with open(args.metrics, "w", encoding="utf-8") as fh:
-                json.dump(registry.snapshot(), fh, indent=1, sort_keys=True)
-                fh.write("\n")
+            dump_snapshot(args.metrics, registry)
             print(f"{args.metrics}: metrics snapshot")
-        if tracer is not None:
+        if args.messages:
             tracer.dump(args.messages)
             print(f"{args.messages}: {len(tracer)} trace events")
-        for p in points:
-            print(f"  {p.op} np={p.np_ranks} ints={p.n_ints}: "
-                  f"{p.t_baseline:.4f}s -> {p.t_reordered:.4f}s "
-                  f"({p.speedup:.2f}x)")
+        _print_points(points)
         return 0
     finally:
         obs.disable()
+
+
+def _export_from_trace(args, trace) -> None:
+    """Build the Perfetto document from a recorded replay trace."""
+    from repro.obs.timeline import Timeline
+
+    tl = Timeline.from_trace(trace)
+    doc = chrome_trace_from_timeline(
+        tl, meta={"source": args.trace_in,
+                  "workload": (trace.meta or {}).get("workload", "?")})
+    errors = validate_chrome_trace(doc, n_ranks=tl.world_size)
+    if errors:  # pragma: no cover - exporter bug guard
+        raise SystemExit("\n".join(f"error: {e}" for e in errors))
+    write_chrome_trace(args.out, doc)
+    print(f"{args.out}: {len(tl.spans)} spans over {tl.world_size} ranks "
+          f"from {args.trace_in} (virtual makespan {tl.makespan:.3f}s, "
+          f"no re-simulation)")
+    if args.messages:
+        print("note: --messages needs a live run; ignored with --trace-in")
+    if args.metrics:
+        print("note: --metrics needs a live run; ignored with --trace-in")
+
+
+def _cmd_diagnose(args) -> int:
+    from repro.experiments.common import handle_trace_in
+    from repro.obs.diagnose import diagnose, render_report, validate_report
+    from repro.obs.timeline import Timeline
+
+    if args.trace_in:
+        box = {}
+        handled = handle_trace_in(
+            args, consumer=lambda tr: box.update(
+                tl=Timeline.from_trace(tr)))
+        if not handled:  # pragma: no cover - trace_in is set
+            return 1
+        tl = box["tl"]
+        meta = {"trace": args.trace_in}
+        if not args.json:
+            print(f"diagnosing recorded trace {args.trace_in} "
+                  f"(no re-simulation)")
+    else:
+        registry, spans, engine, tracer, trace, points, sizes = \
+            _instrumented_cell(args, capture_events=True)
+        try:
+            tl = Timeline.from_run(engine, spans=spans, tracer=tracer,
+                                   trace=trace)
+        finally:
+            obs.disable()
+        meta = {"op": args.op, "nodes": args.nodes,
+                "sizes": list(sizes), "seed": args.seed}
+        if not args.json:
+            _print_points(points)
+
+    report = diagnose(tl, meta=meta)
+    errors = validate_report(report)
+    if errors:  # pragma: no cover - report builder bug guard
+        for e in errors:
+            print(f"error: {e}")
+        return 1
+    # --json promises a machine-readable stdout: nothing but the doc.
+    if args.json:
+        print(json.dumps(report, indent=1, sort_keys=True))
+    else:
+        print(render_report(report))
+    if args.report:
+        from repro.core.flushio import atomic_write
+
+        with atomic_write(args.report) as fh:
+            json.dump(report, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        if not args.json:
+            print(f"{args.report}: diagnosis report")
+    if args.chrome:
+        doc = chrome_trace_from_timeline(tl, meta=meta,
+                                         findings=report["findings"])
+        write_chrome_trace(args.chrome, doc)
+        if not args.json:
+            print(f"{args.chrome}: Chrome trace with findings lane")
+    return 0
 
 
 def _cmd_top(args) -> int:
@@ -140,8 +290,7 @@ def _cmd_top(args) -> int:
         print(f"{src:>5} {dst:>5} {int(flat[idx]):>14,} "
               f"{int(counts[src, dst]):>8,}")
     if args.metrics:
-        with open(args.metrics, "r", encoding="utf-8") as fh:
-            snap = json.load(fh)
+        snap = load_snapshot(args.metrics)
         links = {
             k: v for k, v in snap.get("counters", {}).items()
             if k.startswith("repro_net_link_bytes_total")
@@ -183,6 +332,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "export":
         return _cmd_export(args)
+    if args.command == "diagnose":
+        return _cmd_diagnose(args)
     if args.command == "top":
         return _cmd_top(args)
     if args.command == "heatmap":

@@ -8,9 +8,13 @@ Mapping:
 * ``pid`` 2 — *simulator wall clock*: the recorder's self-profile lane
   (``tid`` 0), so host-side cost is visually separable from simulated
   time in the same trace;
+* ``pid`` 3 — *diagnosis findings*: one span per finding from
+  :mod:`repro.obs.diagnose`, anchored at its evidence window;
 * spans are complete events (``ph: "X"`` with ``ts``/``dur``), lanes
-  are named via ``ph: "M"`` metadata events, exactly as the trace-event
-  format specifies.
+  are named via ``ph: "M"`` metadata events, and cross-layer counter
+  series (per-link-class bytes, in-flight message depth) render as
+  counter tracks (``ph: "C"``), exactly as the trace-event format
+  specifies.
 
 :func:`validate_chrome_trace` checks the structural contract the
 acceptance criteria (and the CI ``obs-smoke`` job) rely on; it returns
@@ -25,15 +29,22 @@ from typing import Any, Dict, List, Optional
 from repro.obs.spans import WALL_LANE, SpanRecorder
 
 __all__ = [
-    "VIRTUAL_PID", "WALL_PID", "WALL_TID",
-    "chrome_trace", "validate_chrome_trace", "write_chrome_trace",
+    "VIRTUAL_PID", "WALL_PID", "WALL_TID", "FINDINGS_PID",
+    "chrome_trace", "chrome_trace_from_timeline",
+    "validate_chrome_trace", "write_chrome_trace",
 ]
 
 VIRTUAL_PID = 1
 WALL_PID = 2
 WALL_TID = 0
+FINDINGS_PID = 3
 
 _S_TO_US = 1e6
+
+#: Counter tracks are downsampled to this many points per series (last
+#: point always kept, so the final total is exact): a fig5 cell emits
+#: ~10^5 per-message samples, which would dwarf the span payload.
+_MAX_COUNTER_POINTS = 512
 
 
 def _meta(name: str, pid: int, tid: int, value: str) -> Dict[str, Any]:
@@ -41,13 +52,67 @@ def _meta(name: str, pid: int, tid: int, value: str) -> Dict[str, Any]:
             "args": {"name": value}}
 
 
+def _counter_events(timeline) -> List[Dict[str, Any]]:
+    """``ph:"C"`` tracks for a timeline's link-byte and in-flight
+    series, downsampled to :data:`_MAX_COUNTER_POINTS` each."""
+    events: List[Dict[str, Any]] = []
+    tracks = [(f"link bytes [{key[len('link:bytes:'):]}]", key, "bytes")
+              for key in timeline.counter_keys("link:bytes:")]
+    if "net:inflight" in timeline.counters:
+        tracks.append(("in-flight messages", "net:inflight", "depth"))
+    for title, key, field in tracks:
+        series = timeline.counter(key)
+        n = len(series)
+        if not n:
+            continue
+        stride = max(1, -(-n // _MAX_COUNTER_POINTS))
+        idx = list(range(0, n, stride))
+        if idx[-1] != n - 1:
+            idx.append(n - 1)
+        for i in idx:
+            events.append({
+                "name": title, "ph": "C", "pid": VIRTUAL_PID, "tid": 0,
+                "ts": float(series.times[i]) * _S_TO_US,
+                "args": {field: float(series.values[i])},
+            })
+    return events
+
+
+def _finding_events(findings) -> List[Dict[str, Any]]:
+    """The findings lane: one span per finding at its evidence window."""
+    if not findings:
+        return []
+    events: List[Dict[str, Any]] = [
+        _meta("process_name", FINDINGS_PID, 0, "diagnosis findings"),
+        _meta("thread_name", FINDINGS_PID, 0, "findings"),
+    ]
+    for f in findings:
+        t0 = float(f.get("t0", 0.0))
+        t1 = max(float(f.get("t1", 0.0)), t0)
+        events.append({
+            "name": f"{f['pass']}: {f['subject']}",
+            "cat": "diagnosis", "ph": "X",
+            "ts": t0 * _S_TO_US, "dur": (t1 - t0) * _S_TO_US,
+            "pid": FINDINGS_PID, "tid": 0,
+            "args": {"severity": f["severity"], "summary": f["summary"]},
+        })
+    return events
+
+
 def chrome_trace(recorder: SpanRecorder, n_ranks: Optional[int] = None,
-                 meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+                 meta: Optional[Dict[str, Any]] = None,
+                 timeline=None, findings=None) -> Dict[str, Any]:
     """Build the trace document from a recorder's finished spans.
 
     ``n_ranks`` forces a named lane per world rank even for ranks that
     never opened a span (so the Perfetto view always shows the full
     world); extra integer lanes seen in the data are named too.
+
+    ``timeline`` (a :class:`repro.obs.timeline.Timeline`) adds counter
+    tracks for its link-byte and in-flight series; ``findings`` (the
+    ``findings`` list of a :func:`repro.obs.diagnose.diagnose` report)
+    adds the diagnosis lane, so reports are visually anchored in the
+    trace.
     """
     rank_lanes = set(range(n_ranks)) if n_ranks else set()
     for lane in recorder.lanes():
@@ -80,6 +145,10 @@ def chrome_trace(recorder: SpanRecorder, n_ranks: Optional[int] = None,
             ev["args"] = dict(args)
         events.append(ev)
 
+    if timeline is not None:
+        events.extend(_counter_events(timeline))
+    events.extend(_finding_events(findings))
+
     doc: Dict[str, Any] = {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -87,6 +156,17 @@ def chrome_trace(recorder: SpanRecorder, n_ranks: Optional[int] = None,
     if meta:
         doc["otherData"] = dict(meta)
     return doc
+
+
+def chrome_trace_from_timeline(timeline, meta: Optional[Dict[str, Any]] = None,
+                               findings=None) -> Dict[str, Any]:
+    """Chrome trace built from a :class:`~repro.obs.timeline.Timeline`
+    alone — the ``--trace-in`` path, where spans were reconstructed
+    from a replay trace and no live recorder exists."""
+    rec = SpanRecorder()
+    rec.finished = timeline.as_finished_spans()
+    return chrome_trace(rec, n_ranks=timeline.world_size, meta=meta,
+                        timeline=timeline, findings=findings)
 
 
 def validate_chrome_trace(doc: Any,
@@ -129,6 +209,17 @@ def validate_chrome_trace(doc: Any,
                 errors.append(f"event #{i}: bad 'ts' {ts!r}")
             if not isinstance(dur, (int, float)) or dur < 0:
                 errors.append(f"event #{i}: bad 'dur' {dur!r}")
+            continue
+        if ph == "C":
+            if not isinstance(ev.get("name"), str):
+                errors.append(f"event #{i}: 'C' event without a name")
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                errors.append(f"event #{i}: bad 'ts' {ts!r}")
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args or not all(
+                    isinstance(v, (int, float)) for v in args.values()):
+                errors.append(f"event #{i}: 'C' event needs numeric args")
     if n_ranks is not None:
         missing = sorted(set(range(n_ranks)) - named_lanes)
         if missing:
@@ -139,6 +230,8 @@ def validate_chrome_trace(doc: Any,
 
 
 def write_chrome_trace(path: str, doc: Dict[str, Any]) -> None:
-    with open(path, "w", encoding="utf-8") as fh:
+    from repro.core.flushio import atomic_write
+
+    with atomic_write(path) as fh:
         json.dump(doc, fh, indent=1)
         fh.write("\n")

@@ -16,6 +16,8 @@ snapshot is empty.  Code that resolves instruments through
 
 from __future__ import annotations
 
+import json
+import warnings
 from bisect import bisect_left
 from typing import Any, Dict, Optional, Sequence, Tuple
 
@@ -23,8 +25,15 @@ __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "NoopCounter", "NoopGauge", "NoopHistogram", "NoopRegistry",
     "NOOP_COUNTER", "NOOP_GAUGE", "NOOP_HISTOGRAM", "NOOP_REGISTRY",
-    "DEFAULT_BUCKETS",
+    "DEFAULT_BUCKETS", "SNAPSHOT_SCHEMA", "dump_snapshot", "load_snapshot",
 ]
+
+#: On-disk metrics-snapshot format version.  The in-memory
+#: :meth:`MetricsRegistry.snapshot` shape is unversioned (it has
+#: in-process consumers asserting its exact keys); only the JSON file
+#: carries the ``"schema"`` field, the same discipline as the replay
+#: trace and flush-profile formats.
+SNAPSHOT_SCHEMA = 1
 
 #: Powers-of-two upper bounds, a reasonable default for counts/depths.
 DEFAULT_BUCKETS: Tuple[float, ...] = (
@@ -143,6 +152,50 @@ class MetricsRegistry:
                         "count": inst.count,
                     }
         return out
+
+
+# -- snapshot files --------------------------------------------------------
+
+
+def dump_snapshot(path: str, registry_or_snap: Any) -> None:
+    """Write a metrics snapshot as schema-versioned JSON, atomically.
+
+    Accepts a registry (``snapshot()`` is called) or an already-built
+    snapshot dict; the file gains a ``"schema"`` field on top of the
+    snapshot's ``counters``/``gauges``/``histograms`` sections."""
+    from repro.core.flushio import atomic_write
+
+    snap = (registry_or_snap.snapshot()
+            if hasattr(registry_or_snap, "snapshot") else registry_or_snap)
+    doc = {"schema": SNAPSHOT_SCHEMA}
+    doc.update(snap)
+    with atomic_write(path) as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def load_snapshot(path: str) -> Dict[str, Any]:
+    """Load a metrics snapshot JSON written by :func:`dump_snapshot`.
+
+    Raises :class:`repro.core.errors.TraceSchemaError` on a schema this
+    reader does not understand; legacy files without a ``"schema"``
+    field still load, with a warning."""
+    from repro.core.errors import TraceSchemaError
+
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or "counters" not in doc:
+        raise TraceSchemaError(f"{path}: not a metrics snapshot")
+    schema = doc.get("schema")
+    if schema is None:
+        warnings.warn(f"{path}: legacy metrics snapshot without a schema "
+                      f"field; assuming schema={SNAPSHOT_SCHEMA}",
+                      stacklevel=2)
+    elif schema != SNAPSHOT_SCHEMA:
+        raise TraceSchemaError(
+            f"{path}: metrics snapshot schema={schema}, this reader "
+            f"understands schema={SNAPSHOT_SCHEMA}")
+    return doc
 
 
 # -- disabled mode ---------------------------------------------------------

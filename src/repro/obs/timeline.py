@@ -1,0 +1,809 @@
+"""Cross-layer, virtual-time-indexed timeline store.
+
+The simulator records three independent layers (the paper's §4–§6
+stack): NIC hardware counters (:mod:`repro.simmpi.nic`), PML monitoring
+matrices and epochs (:mod:`repro.simmpi.pml_monitoring`) and obs spans
+(:mod:`repro.obs.spans`).  Each is useful alone, but "why is this run
+slow" questions need all of them joined on one clock.  A
+:class:`Timeline` is that join: a columnar store of
+
+* per-rank **span intervals** (:class:`SpanTable` — parallel numpy
+  columns, names interned),
+* per-link-class / per-node **counter series** (:class:`CounterSeries`
+  — monotone cumulative step functions over virtual time),
+* per-category **PML totals and epochs**,
+* and, when a :class:`repro.replay.schema.ReplayTrace` is available,
+  the full event-level record: per-message send/arrival times, receive
+  waits, collective instances with per-rank arrival times, and local
+  computation gaps.
+
+The correlation key is virtual time: every layer's timestamps come from
+the same per-rank simulated clocks, so window queries and interval
+joins need no clock alignment.
+
+Two ingestion paths build the same store:
+
+* :meth:`Timeline.from_run` — after an instrumented live run (obs
+  enabled, optionally a :class:`~repro.simmpi.trace.MessageTracer`
+  and/or an ambient replay recording);
+* :meth:`Timeline.from_trace` — from a recorded replay trace alone,
+  with **no re-simulation**: per-event times are reconstructed from the
+  recorded ``t``/``gap`` pairs (the post-clock of event *i* is
+  ``t[i+1] - gap[i+1]``; the final ``F`` marker closes the stream), and
+  link classes are re-derived from the recorded topology + binding with
+  the same depth→class bijection the network model uses.
+
+The diagnosis passes (:mod:`repro.obs.diagnose`) are pure consumers of
+this API; hand-built timelines (tests) construct :class:`Timeline`
+directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (Any, Dict, Iterable, List, NamedTuple, Optional,
+                    Sequence, Tuple)
+
+import numpy as np
+
+__all__ = [
+    "CounterSeries", "SpanTable", "Span", "Wait", "CollectiveInstance",
+    "CriticalSegment", "Timeline",
+]
+
+
+# ---------------------------------------------------------------------------
+# columns
+
+
+class CounterSeries:
+    """A monotone cumulative step function over virtual time.
+
+    ``values[i]`` is the running total *after* the event at
+    ``times[i]`` — the same shape as a NIC cumulative byte counter, so
+    NIC histories ingest without transformation.  Non-cumulative step
+    series (in-flight depth) fit too: build them from signed deltas via
+    :meth:`from_events`.
+    """
+
+    __slots__ = ("times", "values")
+
+    def __init__(self, times: Sequence[float], values: Sequence[float]):
+        self.times = np.asarray(times, dtype=np.float64)
+        self.values = np.asarray(values, dtype=np.float64)
+        if self.times.shape != self.values.shape:
+            raise ValueError("times and values must have the same length")
+
+    @classmethod
+    def from_events(cls, events: Iterable[Tuple[float, float]]
+                    ) -> "CounterSeries":
+        """Build from (time, delta) samples; deltas at equal times merge."""
+        pairs = sorted(events)
+        times: List[float] = []
+        values: List[float] = []
+        total = 0.0
+        for t, d in pairs:
+            total += d
+            if times and times[-1] == t:
+                values[-1] = total
+            else:
+                times.append(t)
+                values.append(total)
+        return cls(times, values)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @property
+    def total(self) -> float:
+        return float(self.values[-1]) if len(self.values) else 0.0
+
+    def at(self, t: float) -> float:
+        """Value of the step function at time ``t`` (right-continuous)."""
+        i = int(np.searchsorted(self.times, t, side="right"))
+        return float(self.values[i - 1]) if i else 0.0
+
+    def delta(self, t0: float, t1: float) -> float:
+        """Increase over the window ``(t0, t1]``."""
+        return self.at(t1) - self.at(t0)
+
+    def window_of_mass(self, lo: float = 0.05,
+                       hi: float = 0.95) -> Tuple[float, float]:
+        """Times bracketing the ``[lo, hi]`` fraction of the final total.
+
+        Localizes *when* a cumulative counter did its growing — the
+        window a congestion finding anchors to.
+        """
+        if not len(self.values) or self.values[-1] <= 0:
+            return (0.0, 0.0)
+        tot = self.values[-1]
+        i0 = int(np.searchsorted(self.values, lo * tot, side="left"))
+        i1 = int(np.searchsorted(self.values, hi * tot, side="left"))
+        i0 = min(i0, len(self.times) - 1)
+        i1 = min(i1, len(self.times) - 1)
+        return (float(self.times[i0]), float(self.times[i1]))
+
+
+class Span(NamedTuple):
+    rank: int
+    name: str
+    t0: float
+    t1: float
+    depth: int
+    args: Optional[dict]
+
+
+class SpanTable:
+    """Columnar span storage: parallel arrays plus an interned name list.
+
+    Rows come from :attr:`repro.obs.spans.SpanRecorder.finished`
+    (integer lanes only) or from collective markers reconstructed out
+    of a replay trace; either way selection is vectorized over the
+    columns and only materializes :class:`Span` rows on demand.
+    """
+
+    __slots__ = ("rank", "t0", "t1", "depth", "name_id", "names", "args")
+
+    def __init__(self, rank, t0, t1, depth, name_id,
+                 names: List[str], args: List[Optional[dict]]):
+        self.rank = np.asarray(rank, dtype=np.int32)
+        self.t0 = np.asarray(t0, dtype=np.float64)
+        self.t1 = np.asarray(t1, dtype=np.float64)
+        self.depth = np.asarray(depth, dtype=np.int16)
+        self.name_id = np.asarray(name_id, dtype=np.int32)
+        self.names = list(names)
+        self.args = list(args)
+
+    @classmethod
+    def empty(cls) -> "SpanTable":
+        return cls([], [], [], [], [], [], [])
+
+    @classmethod
+    def from_rows(cls, rows: Iterable[Tuple[int, str, float, float, int,
+                                            Optional[dict]]]) -> "SpanTable":
+        """Build from ``(rank, name, t0, t1, depth, args)`` tuples."""
+        ranks: List[int] = []
+        t0s: List[float] = []
+        t1s: List[float] = []
+        depths: List[int] = []
+        ids: List[int] = []
+        names: List[str] = []
+        intern: Dict[str, int] = {}
+        args: List[Optional[dict]] = []
+        for rank, name, t0, t1, depth, a in rows:
+            nid = intern.get(name)
+            if nid is None:
+                nid = intern[name] = len(names)
+                names.append(name)
+            ranks.append(int(rank))
+            t0s.append(float(t0))
+            t1s.append(float(t1))
+            depths.append(int(depth))
+            ids.append(nid)
+            args.append(a)
+        return cls(ranks, t0s, t1s, depths, ids, names, args)
+
+    def __len__(self) -> int:
+        return len(self.rank)
+
+    def select(self, t0: Optional[float] = None, t1: Optional[float] = None,
+               ranks: Optional[Iterable[int]] = None,
+               names: Optional[Iterable[str]] = None) -> np.ndarray:
+        """Indices of spans overlapping ``[t0, t1]`` with the given
+        rank/name filters (all filters optional)."""
+        mask = np.ones(len(self.rank), dtype=bool)
+        if t0 is not None:
+            mask &= self.t1 >= t0
+        if t1 is not None:
+            mask &= self.t0 <= t1
+        if ranks is not None:
+            mask &= np.isin(self.rank, np.asarray(list(ranks)))
+        if names is not None:
+            wanted = {n for n in names}
+            ids = [i for i, n in enumerate(self.names) if n in wanted]
+            mask &= np.isin(self.name_id, np.asarray(ids, dtype=np.int32))
+        return np.flatnonzero(mask)
+
+    def row(self, i: int) -> Span:
+        return Span(int(self.rank[i]), self.names[self.name_id[i]],
+                    float(self.t0[i]), float(self.t1[i]),
+                    int(self.depth[i]), self.args[i])
+
+    def rows(self, idx: Optional[Iterable[int]] = None) -> List[Span]:
+        if idx is None:
+            idx = range(len(self))
+        return [self.row(int(i)) for i in idx]
+
+
+@dataclass(frozen=True)
+class Wait:
+    """One receive-wait interval: ``rank`` blocked on send ``seq``."""
+
+    rank: int
+    t0: float
+    t1: float
+    seq: int = -1
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+
+@dataclass
+class CollectiveInstance:
+    """One collective call matched across its participating ranks.
+
+    ``index`` is the per-communicator call ordinal (every participant
+    reaches the same collectives of a communicator in the same order,
+    so ``(comm_id, index)`` identifies the instance world-wide).
+    ``arrivals`` maps rank → virtual time at the begin marker — the
+    straggler detector's raw material.
+    """
+
+    comm_id: int
+    index: int
+    op: str
+    alg: str = ""
+    root: int = -1
+    nbytes: int = -1
+    segments: int = 0
+    ranks: Tuple[int, ...] = ()
+    arrivals: Dict[int, float] = field(default_factory=dict)
+    t_end: float = 0.0
+
+    @property
+    def name(self) -> str:
+        return f"{self.op}[{self.alg}]" if self.alg else self.op
+
+
+class CriticalSegment(NamedTuple):
+    rank: int
+    t0: float
+    t1: float
+    kind: str  # "send" | "wait" | "osc" | "compute" | "finish"
+
+
+# ---------------------------------------------------------------------------
+# replay-trace event ingestion
+
+#: kind -> (index of t, index of gap) for the timed event tuples.
+_TIMED = {"S": (7, 8), "R": (3, 4), "P": (5, 6), "G": (5, 6), "F": (2, 3)}
+
+_KIND_NAME = {"S": "send", "R": "wait", "P": "osc", "G": "osc",
+              "F": "finish"}
+
+
+def _pair_class(pu_a: int, pu_b: int, strides: Sequence[int],
+                names: Sequence[str]) -> str:
+    """Sharing class of a PU pair — the network model's depth→class
+    bijection (0 = "cluster", full depth = "self", else the level
+    name), recomputed from the topology strides."""
+    depth = len(strides)
+    cd = 0
+    for s in strides:
+        if pu_a // s == pu_b // s:
+            cd += 1
+    if cd == 0:
+        return "cluster"
+    if cd == depth:
+        return "self"
+    return names[cd - 1]
+
+
+def _ingest_events(world_size: int, events: Sequence[tuple],
+                   comms: Dict[int, List[int]],
+                   clocks: Sequence[float],
+                   topology=None,
+                   binding: Optional[Sequence[int]] = None) -> Dict[str, Any]:
+    """One pass over a replay event stream → every event-level layer.
+
+    Reconstructs per-event completion times from the recorded
+    ``t``/``gap`` pairs: the clock *after* timed event ``i`` of a rank
+    is ``t[i+1] - gap[i+1]`` (the ``F`` marker's own ``t`` closes the
+    stream), so no re-simulation is needed.
+    """
+    streams: List[List[tuple]] = [[] for _ in range(world_size)]
+    n_sends = 0
+    max_seq = -1
+    for ev in events:
+        streams[ev[1]].append(ev)
+        if ev[0] == "S":
+            n_sends += 1
+            if ev[6] > max_seq:
+                max_seq = ev[6]
+
+    n_seq = max_seq + 1
+    msg_src = np.full(n_seq, -1, dtype=np.int32)
+    msg_dst = np.full(n_seq, -1, dtype=np.int32)
+    msg_nbytes = np.zeros(n_seq, dtype=np.int64)
+    msg_t_send = np.full(n_seq, np.nan)
+    msg_t_recv = np.full(n_seq, np.nan)
+
+    spans_rows: List[tuple] = []
+    waits: List[Wait] = []
+    gaps: List[Tuple[int, float, float]] = []
+    colls: Dict[Tuple[int, int], CollectiveInstance] = {}
+    link_events: Dict[str, List[Tuple[float, float]]] = {}
+    node_events: Dict[int, List[Tuple[float, float]]] = {}
+    pml = {c: {"epoch": 0, "messages": 0, "bytes": 0}
+           for c in ("p2p", "coll", "osc")}
+    rank_events: List[List[tuple]] = [[] for _ in range(world_size)]
+    seq_site: Dict[int, Tuple[int, int]] = {}
+
+    have_topo = topology is not None and binding is not None
+    if have_topo:
+        strides = [int(s) for s in topology._strides]
+        names = topology._names
+        pair_cls: Dict[Tuple[int, int], str] = {}
+
+    def link_class(src: int, dst: int) -> Optional[str]:
+        if not have_topo:
+            return None
+        key = (src, dst)
+        cls = pair_cls.get(key)
+        if cls is None:
+            cls = pair_cls[key] = _pair_class(
+                binding[src], binding[dst], strides, names)
+        return cls
+
+    def charge(src: int, dst: int, nbytes: int, t: float,
+               mcat: str) -> None:
+        cls = link_class(src, dst)
+        if cls is not None:
+            link_events.setdefault(cls, []).append((t, float(nbytes)))
+            if cls != "self":
+                node = binding[src] // strides[0]
+                node_events.setdefault(node, []).append((t, float(nbytes)))
+        if mcat:
+            rec = pml[mcat]
+            rec["epoch"] += 1
+            rec["messages"] += 1
+            rec["bytes"] += nbytes
+
+    for rank, stream in enumerate(streams):
+        timed = [(i, ev) for i, ev in enumerate(stream) if ev[0] in _TIMED]
+        posts: List[float] = []
+        for k, (i, ev) in enumerate(timed):
+            ti, gi = _TIMED[ev[0]]
+            if k + 1 < len(timed):
+                nxt = timed[k + 1][1]
+                nti, ngi = _TIMED[nxt[0]]
+                posts.append(nxt[nti] - nxt[ngi])
+            else:
+                posts.append(ev[ti])
+
+        cur_post = 0.0
+        coll_stack: List[Tuple[Tuple[int, int], float]] = []
+        inst_count: Dict[int, int] = {}
+        tk = 0
+        for i, ev in enumerate(stream):
+            kind = ev[0]
+            if kind == "B":
+                _, _, comm_id, op, alg, root, nbytes, segs = ev
+                k = inst_count.get(comm_id, 0)
+                inst_count[comm_id] = k + 1
+                key = (comm_id, k)
+                inst = colls.get(key)
+                if inst is None:
+                    inst = colls[key] = CollectiveInstance(
+                        comm_id=comm_id, index=k, op=op, alg=alg,
+                        root=root, nbytes=nbytes, segments=segs,
+                        ranks=tuple(comms.get(comm_id, ())))
+                inst.arrivals[rank] = cur_post
+                coll_stack.append((key, cur_post))
+                continue
+            if kind == "E":
+                if coll_stack:
+                    key, t0 = coll_stack.pop()
+                    inst = colls[key]
+                    if cur_post > inst.t_end:
+                        inst.t_end = cur_post
+                    spans_rows.append((rank, inst.name, t0,
+                                       max(cur_post, t0),
+                                       len(coll_stack), None))
+                continue
+
+            ti, gi = _TIMED[kind]
+            t, g = ev[ti], ev[gi]
+            post = posts[tk]
+            tk += 1
+            if g > 0.0:
+                gaps.append((rank, t - g, t))
+            seq = -1
+            if kind == "S":
+                seq = ev[6]
+                msg_src[seq] = rank
+                msg_dst[seq] = ev[2]
+                msg_nbytes[seq] = ev[3]
+                msg_t_send[seq] = t
+                seq_site[seq] = (rank, len(rank_events[rank]))
+                charge(rank, ev[2], ev[3], t, ev[5])
+            elif kind == "R":
+                seq = ev[2]
+                if 0 <= seq < n_seq:
+                    msg_t_recv[seq] = post
+                waits.append(Wait(rank, t, max(post, t), seq))
+            elif kind == "P":
+                charge(rank, ev[2], ev[3], t, ev[4])
+            elif kind == "G":
+                # gets move bytes target -> origin, as monitored
+                charge(ev[2], rank, ev[3], t, ev[4])
+            rank_events[rank].append((kind, t, max(post, t), seq, g))
+            cur_post = post
+
+    messages = None
+    if n_seq:
+        messages = {"src": msg_src, "dst": msg_dst, "nbytes": msg_nbytes,
+                    "t_send": msg_t_send, "t_recv": msg_t_recv}
+
+    counters: Dict[str, CounterSeries] = {}
+    for cls, evs in link_events.items():
+        counters[f"link:bytes:{cls}"] = CounterSeries.from_events(evs)
+    for node, evs in node_events.items():
+        counters[f"nic:issued:node{node}"] = CounterSeries.from_events(evs)
+    if messages is not None:
+        depth_events: List[Tuple[float, float]] = []
+        fallback = max(clocks) if clocks else 0.0
+        for s in range(n_seq):
+            if msg_src[s] < 0:
+                continue
+            t0 = float(msg_t_send[s])
+            t1 = float(msg_t_recv[s])
+            if np.isnan(t1):
+                t1 = fallback
+            depth_events.append((t0, 1.0))
+            depth_events.append((max(t1, t0), -1.0))
+        if depth_events:
+            counters["net:inflight"] = CounterSeries.from_events(depth_events)
+
+    return {
+        "spans_rows": spans_rows,
+        "waits": waits,
+        "gaps": gaps,
+        "collectives": sorted(colls.values(),
+                              key=lambda c: (c.comm_id, c.index)),
+        "messages": messages,
+        "counters": counters,
+        "pml": pml,
+        "rank_events": rank_events,
+        "seq_site": seq_site,
+    }
+
+
+# ---------------------------------------------------------------------------
+# the store
+
+
+class Timeline:
+    """The joined cross-layer store; see the module docstring.
+
+    Every field is optional beyond ``world_size``/``makespan`` so tests
+    can hand-build minimal timelines; the diagnosis passes check for
+    the layers they need and report "pass skipped" when one is absent.
+    """
+
+    def __init__(self, world_size: int, makespan: float,
+                 source: str = "hand",
+                 spans: Optional[SpanTable] = None,
+                 counters: Optional[Dict[str, CounterSeries]] = None,
+                 link_alpha: Optional[Dict[str, float]] = None,
+                 pml: Optional[Dict[str, Dict[str, int]]] = None,
+                 messages: Optional[Dict[str, np.ndarray]] = None,
+                 waits: Sequence[Wait] = (),
+                 gaps: Sequence[Tuple[int, float, float]] = (),
+                 collectives: Sequence[CollectiveInstance] = (),
+                 clocks: Optional[Sequence[float]] = None,
+                 meta: Optional[dict] = None,
+                 _rank_events: Optional[List[List[tuple]]] = None,
+                 _seq_site: Optional[Dict[int, Tuple[int, int]]] = None):
+        self.world_size = int(world_size)
+        self.makespan = float(makespan)
+        self.source = source
+        self.spans = spans if spans is not None else SpanTable.empty()
+        self.counters = dict(counters or {})
+        self.link_alpha = dict(link_alpha or {})
+        self.pml = dict(pml or {})
+        self.messages = messages
+        self.waits = list(waits)
+        self.gaps = list(gaps)
+        self.collectives = list(collectives)
+        self.clocks = list(clocks) if clocks is not None else None
+        self.meta = dict(meta or {})
+        self._rank_events = _rank_events
+        self._seq_site = _seq_site
+
+    # -- ingestion -------------------------------------------------------
+
+    @classmethod
+    def from_run(cls, engine, spans=None, tracer=None, trace=None,
+                 meta: Optional[dict] = None) -> "Timeline":
+        """Ingest an instrumented live run.
+
+        ``spans`` is the :class:`~repro.obs.spans.SpanRecorder` used
+        during the run (its integer lanes become the span table),
+        ``tracer`` an installed :class:`~repro.simmpi.trace.MessageTracer`
+        (per-message link-class series) and ``trace`` an ambient
+        :class:`~repro.replay.schema.ReplayTrace` capture (event-level
+        layers: messages, waits, collective arrivals).  All three are
+        optional; whatever is present is joined.
+        """
+        net = engine.network
+        topo = engine.cluster.topology
+        params = net.params
+
+        ing: Dict[str, Any] = {}
+        if trace is not None:
+            ing = _ingest_events(
+                trace.world_size, trace.events, trace.comms, trace.clocks,
+                topology=topo, binding=net.binding)
+
+        counters: Dict[str, CounterSeries] = {}
+        nic = net.nic
+        for node in range(nic.n_nodes):
+            evs = nic.xmit_events(node)
+            if evs:
+                times, totals = zip(*evs)
+                counters[f"nic:xmit:node{node}"] = CounterSeries(times, totals)
+            evs = nic.rcv_events(node)
+            if evs:
+                times, totals = zip(*evs)
+                counters[f"nic:rcv:node{node}"] = CounterSeries(times, totals)
+
+        if ing:
+            counters.update(ing["counters"])
+        elif tracer is not None and len(tracer):
+            clsidx = net._clsidx_l
+            classes = net.route_classes
+            n = net._n_ranks
+            link_events: Dict[str, List[Tuple[float, float]]] = {}
+            for e in tracer.events:
+                cls_name = classes[clsidx[e.src * n + e.dst]]
+                link_events.setdefault(cls_name, []).append(
+                    (e.time, float(e.nbytes)))
+            for cls_name, evs in link_events.items():
+                counters[f"link:bytes:{cls_name}"] = \
+                    CounterSeries.from_events(evs)
+
+        link_alpha = {}
+        for key in counters:
+            if key.startswith("link:bytes:"):
+                cls_name = key[len("link:bytes:"):]
+                link_alpha[cls_name] = params.link_for(cls_name, topo).latency
+
+        span_rows = []
+        if spans is not None:
+            span_rows = [(lane, name, t0, t1, depth, args)
+                         for lane, name, t0, t1, depth, args in spans.finished
+                         if isinstance(lane, int)]
+        elif ing:
+            span_rows = ing["spans_rows"]
+
+        return cls(
+            world_size=engine.n_ranks,
+            makespan=engine.max_clock,
+            source="run",
+            spans=SpanTable.from_rows(span_rows),
+            counters=counters,
+            link_alpha=link_alpha,
+            pml=engine.pml.snapshot_state(),
+            messages=ing.get("messages"),
+            waits=ing.get("waits", ()),
+            gaps=ing.get("gaps", ()),
+            collectives=ing.get("collectives", ()),
+            clocks=engine.clocks(),
+            meta=meta,
+            _rank_events=ing.get("rank_events"),
+            _seq_site=ing.get("seq_site"),
+        )
+
+    @classmethod
+    def from_trace(cls, trace, meta: Optional[dict] = None) -> "Timeline":
+        """Ingest a recorded replay trace — no re-simulation.
+
+        Link classes are derived from the recorded topology + binding;
+        NIC series are per-node *issue-time* cumulative bytes (the
+        hardware counter ticks at ``sender_done``, a send-overhead
+        later — close enough for windowed diagnosis, and noted in the
+        resulting meta).  PML epochs approximate the live counter by
+        the number of recorded monitored events.
+        """
+        from repro.replay.schema import params_from_json, topology_from_json
+
+        topo = topology_from_json(trace.topology)
+        params = params_from_json(trace.params)
+        ing = _ingest_events(
+            trace.world_size, trace.events, trace.comms, trace.clocks,
+            topology=topo, binding=trace.binding)
+
+        link_alpha = {}
+        for key in ing["counters"]:
+            if key.startswith("link:bytes:"):
+                cls_name = key[len("link:bytes:"):]
+                link_alpha[cls_name] = params.link_for(cls_name, topo).latency
+
+        full_meta = {"nic_series": "issue-time approximation",
+                     "pml_epochs": "recorded-event counts"}
+        full_meta.update(trace.meta or {})
+        full_meta.update(meta or {})
+        return cls(
+            world_size=trace.world_size,
+            makespan=max(trace.clocks) if trace.clocks else 0.0,
+            source="trace",
+            spans=SpanTable.from_rows(ing["spans_rows"]),
+            counters=ing["counters"],
+            link_alpha=link_alpha,
+            pml=ing["pml"],
+            messages=ing["messages"],
+            waits=ing["waits"],
+            gaps=ing["gaps"],
+            collectives=ing["collectives"],
+            clocks=trace.clocks,
+            meta=full_meta,
+            _rank_events=ing["rank_events"],
+            _seq_site=ing["seq_site"],
+        )
+
+    # -- span / counter queries -----------------------------------------
+
+    def span_indices(self, t0: Optional[float] = None,
+                     t1: Optional[float] = None,
+                     ranks: Optional[Iterable[int]] = None,
+                     names: Optional[Iterable[str]] = None) -> np.ndarray:
+        return self.spans.select(t0=t0, t1=t1, ranks=ranks, names=names)
+
+    def spans_between(self, t0: Optional[float] = None,
+                      t1: Optional[float] = None,
+                      ranks: Optional[Iterable[int]] = None,
+                      names: Optional[Iterable[str]] = None) -> List[Span]:
+        return self.spans.rows(self.span_indices(t0, t1, ranks, names))
+
+    def counter_keys(self, prefix: Optional[str] = None) -> List[str]:
+        keys = sorted(self.counters)
+        if prefix is None:
+            return keys
+        return [k for k in keys if k.startswith(prefix)]
+
+    def counter(self, key: str) -> CounterSeries:
+        return self.counters[key]
+
+    def counter_delta(self, key: str, t0: float, t1: float) -> float:
+        return self.counters[key].delta(t0, t1)
+
+    def link_classes(self) -> List[str]:
+        return [k[len("link:bytes:"):]
+                for k in self.counter_keys("link:bytes:")]
+
+    def link_bytes(self, cls_name: str) -> float:
+        series = self.counters.get(f"link:bytes:{cls_name}")
+        return series.total if series is not None else 0.0
+
+    # -- event-level queries ---------------------------------------------
+
+    def waits_of(self, rank: int) -> List[Wait]:
+        return [w for w in self.waits if w.rank == rank]
+
+    def rank_gaps(self, rank: int,
+                  min_gap: float = 0.0) -> List[Tuple[float, float]]:
+        """Local-computation gaps of one rank: intervals between an
+        event's completion and the next event's issue, straight from
+        the recorded ``gap`` fields."""
+        return [(t0, t1) for r, t0, t1 in self.gaps
+                if r == rank and (t1 - t0) >= min_gap]
+
+    def overlap_join(self, a_idx: Iterable[int],
+                     b_idx: Iterable[int]) -> List[Tuple[int, int]]:
+        """Interval overlap join over two span-index sets.
+
+        Returns ``(i, j)`` pairs (indices into the span table) whose
+        intervals intersect, via a sweep over both sets sorted by start
+        time — the primitive "which collectives overlap this stall"
+        queries build on.
+        """
+        a = sorted((float(self.spans.t0[i]), float(self.spans.t1[i]), int(i))
+                   for i in a_idx)
+        b = sorted((float(self.spans.t0[j]), float(self.spans.t1[j]), int(j))
+                   for j in b_idx)
+        out: List[Tuple[int, int]] = []
+        start = 0
+        for at0, at1, i in a:
+            # advance past b-intervals that end before this one starts
+            while start < len(b) and b[start][1] < at0:
+                start += 1
+            for bt0, bt1, j in b[start:]:
+                if bt0 > at1:
+                    break
+                if bt1 >= at0:
+                    out.append((i, j))
+        return out
+
+    def inflight_coverage(self, rank: int, t0: float, t1: float) -> float:
+        """Seconds of ``[t0, t1]`` during which at least one message
+        destined for ``rank`` was in flight (sent, not yet received).
+
+        The serialization-stall detector's core question: a long wait
+        whose window has ~zero coverage means the rank starved because
+        its peer had not even *issued* the data yet.
+        """
+        if self.messages is None or t1 <= t0:
+            return 0.0
+        m = self.messages
+        sel = np.flatnonzero(m["dst"] == rank)
+        if not len(sel):
+            return 0.0
+        starts = m["t_send"][sel]
+        ends = m["t_recv"][sel]
+        ends = np.where(np.isnan(ends), self.makespan, ends)
+        lo = np.maximum(starts, t0)
+        hi = np.minimum(ends, t1)
+        keep = lo < hi
+        if not keep.any():
+            return 0.0
+        ivals = sorted(zip(lo[keep].tolist(), hi[keep].tolist()))
+        covered = 0.0
+        cur_lo, cur_hi = ivals[0]
+        for s, e in ivals[1:]:
+            if s > cur_hi:
+                covered += cur_hi - cur_lo
+                cur_lo, cur_hi = s, e
+            elif e > cur_hi:
+                cur_hi = e
+        covered += cur_hi - cur_lo
+        return covered
+
+    def critical_path(self, max_segments: int = 4096
+                      ) -> List[CriticalSegment]:
+        """Backward walk from the last-finishing rank's final event.
+
+        Receive-waits jump to the sender of the awaited message (via
+        the recorded sequence number); other events step backward on
+        the same rank, emitting a ``compute`` segment for any recorded
+        local gap.  Needs event-level ingestion (a replay trace)."""
+        if not self._rank_events:
+            return []
+        finals = [(evs[-1][2] if evs else 0.0, r)
+                  for r, evs in enumerate(self._rank_events)]
+        _, rank = max(finals)
+        i = len(self._rank_events[rank]) - 1
+        segs: List[CriticalSegment] = []
+        while i >= 0 and len(segs) < max_segments:
+            kind, t, post, seq, gap = self._rank_events[rank][i]
+            segs.append(CriticalSegment(rank, t, post, _KIND_NAME[kind]))
+            if kind == "R" and seq >= 0 and self._seq_site is not None:
+                site = self._seq_site.get(seq)
+                if site is not None and site != (rank, i):
+                    rank, i = site
+                    continue
+            if gap > 0.0:
+                segs.append(CriticalSegment(rank, t - gap, t, "compute"))
+            i -= 1
+        segs.reverse()
+        return segs
+
+    # -- export bridge ---------------------------------------------------
+
+    def as_finished_spans(self) -> List[tuple]:
+        """Span rows in :data:`repro.obs.spans.FinishedSpan` shape, so
+        the Chrome-trace exporter can render a timeline built from a
+        replay trace exactly like a live recorder."""
+        return [(int(self.spans.rank[i]),
+                 self.spans.names[self.spans.name_id[i]],
+                 float(self.spans.t0[i]), float(self.spans.t1[i]),
+                 int(self.spans.depth[i]), self.spans.args[i])
+                for i in range(len(self.spans))]
+
+    def layer_summary(self) -> Dict[str, Any]:
+        """Per-layer presence/volume summary (reports embed this)."""
+        return {
+            "spans": {"rows": len(self.spans),
+                      "names": len(self.spans.names)},
+            "counters": {"series": len(self.counters),
+                         "link_classes": self.link_classes()},
+            "pml": {cat: dict(rec) for cat, rec in sorted(self.pml.items())},
+            "events": {
+                "messages": (0 if self.messages is None
+                             else int((self.messages["src"] >= 0).sum())),
+                "waits": len(self.waits),
+                "collectives": len(self.collectives),
+                "gaps": len(self.gaps),
+            },
+        }

@@ -91,6 +91,11 @@ class NicCounters:
         times, totals = self._xmit[node]
         return list(zip(times, totals))
 
+    def rcv_events(self, node: int) -> List[Tuple[float, int]]:
+        """The full (time, cumulative bytes) receive history of a node."""
+        times, totals = self._rcv[node]
+        return list(zip(times, totals))
+
     def total_xmit_bytes(self, node: int) -> int:
         _, totals = self._xmit[node]
         return totals[-1] if totals else 0

@@ -449,3 +449,21 @@ class PmlMonitoring:
             int(counts.sum()),
             int(self._sizes[category].sum()),
         )
+
+    def snapshot_state(self) -> Dict[str, Dict[str, int]]:
+        """Per-category ``{"epoch", "messages", "bytes"}`` — the shape
+        cross-layer consumers (:mod:`repro.obs.timeline`) ingest.
+
+        Flushes pending batches (via :meth:`totals`), so it is only
+        safe once the run has drained — the same contract as reading
+        the matrices.
+        """
+        out: Dict[str, Dict[str, int]] = {}
+        for cat in CATEGORIES:
+            n_msg, n_bytes = self.totals(cat)
+            out[cat] = {
+                "epoch": self._epochs[cat],
+                "messages": n_msg,
+                "bytes": n_bytes,
+            }
+        return out

@@ -109,3 +109,37 @@ class TestErrors:
         p.write_text("1 2 3 4\n")
         with pytest.raises(ValueError, match="not an MPI_Monitoring"):
             flushio.read_profile(str(p))
+
+
+class TestAtomicWrite:
+    def test_creates_file(self, tmp_path):
+        target = tmp_path / "out.json"
+        with flushio.atomic_write(str(target)) as fh:
+            fh.write("payload")
+        assert target.read_text() == "payload"
+
+    def test_replaces_existing_content(self, tmp_path):
+        target = tmp_path / "out.json"
+        target.write_text("old")
+        with flushio.atomic_write(str(target)) as fh:
+            fh.write("new")
+        assert target.read_text() == "new"
+
+    def test_failure_leaves_original_and_no_litter(self, tmp_path):
+        target = tmp_path / "out.json"
+        target.write_text("original")
+        with pytest.raises(RuntimeError, match="boom"):
+            with flushio.atomic_write(str(target)) as fh:
+                fh.write("half-writ")
+                raise RuntimeError("boom")
+        assert target.read_text() == "original"
+        # The partial temp file was cleaned up, not left beside it.
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["out.json"]
+
+    def test_no_partial_file_on_failed_fresh_write(self, tmp_path):
+        target = tmp_path / "fresh.json"
+        with pytest.raises(RuntimeError):
+            with flushio.atomic_write(str(target)) as fh:
+                fh.write("x")
+                raise RuntimeError("die")
+        assert list(tmp_path.iterdir()) == []

@@ -87,3 +87,101 @@ class TestReaders:
         out = capsys.readouterr().out
         assert "byte heatmap" in out
         assert "24 ranks" in out
+
+
+@pytest.fixture(scope="module")
+def diagnosed(tmp_path_factory):
+    """One tiny live ``diagnose`` run shared by the report tests."""
+    d = tmp_path_factory.mktemp("diag")
+    paths = {
+        "report": str(d / "report.json"),
+        "chrome": str(d / "diag.trace.json"),
+        "dir": d,
+    }
+    rc = cli.main([
+        "diagnose", "--nodes", "1", "--sizes", "50_000,100_000",
+        "--report", paths["report"], "--chrome", paths["chrome"],
+    ])
+    assert rc == 0
+    return paths
+
+
+class TestDiagnose:
+    def test_leaves_layer_disabled(self, diagnosed):
+        assert not obs.is_enabled()
+
+    def test_report_validates(self, diagnosed):
+        from repro.obs.diagnose import validate_report, PASSES
+
+        with open(diagnosed["report"], "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        assert validate_report(doc) == []
+        assert doc["source"] == "run"
+        assert doc["world_size"] == 24
+        assert all(p["ran"] for p in doc["passes"])
+        assert [p["name"] for p in doc["passes"]] == list(PASSES)
+        # All three layers made it into the joined store.
+        assert doc["layers"]["spans"]["rows"] > 0
+        assert doc["layers"]["counters"]["series"] > 0
+        assert doc["layers"]["events"]["messages"] > 0
+
+    def test_chrome_trace_has_counter_and_findings_lanes(self, diagnosed):
+        from repro.obs.export import validate_chrome_trace
+
+        with open(diagnosed["chrome"], "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        assert validate_chrome_trace(doc, n_ranks=24) == []
+        counters = [e for e in doc["traceEvents"] if e.get("ph") == "C"]
+        assert any(e["name"].startswith("link bytes") for e in counters)
+
+    def test_terminal_rendering(self, capsys):
+        rc = cli.main(["diagnose", "--nodes", "1", "--sizes", "50_000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "why-is-this-slow report" in out
+        assert "passes ran:" in out
+
+    def test_json_to_stdout(self, capsys):
+        from repro.obs.diagnose import validate_report
+
+        rc = cli.main(["diagnose", "--nodes", "1", "--sizes", "50_000",
+                       "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert validate_report(doc) == []
+
+
+class TestTraceIn:
+    @pytest.fixture(scope="class")
+    def trace_path(self, instrumented_fig5, tmp_path_factory):
+        _, _, trace, _ = instrumented_fig5
+        path = str(tmp_path_factory.mktemp("tin") / "fig5.trace")
+        trace.dump(path)
+        return path
+
+    def test_diagnose_from_trace(self, trace_path, tmp_path, capsys):
+        from repro.obs.diagnose import validate_report
+
+        report = str(tmp_path / "r.json")
+        rc = cli.main(["diagnose", "--trace-in", trace_path,
+                       "--report", report])
+        assert rc == 0
+        assert "no re-simulation" in capsys.readouterr().out
+        with open(report, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        assert validate_report(doc) == []
+        assert doc["source"] == "trace"
+        assert doc["meta"]["trace"] == trace_path
+
+    def test_export_from_trace(self, trace_path, tmp_path, capsys):
+        from repro.obs.export import validate_chrome_trace
+
+        out = str(tmp_path / "t.json")
+        rc = cli.main(["export", "--trace-in", trace_path, "--out", out])
+        assert rc == 0
+        assert "no re-simulation" in capsys.readouterr().out
+        with open(out, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        assert validate_chrome_trace(doc) == []
+        x = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        assert x  # collective spans reconstructed from the trace

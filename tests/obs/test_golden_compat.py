@@ -50,3 +50,23 @@ def test_enabled_obs_is_bit_identical_to_golden(name, golden):
     assert counters["repro_engine_runs_total"] == 1
     assert counters["repro_engine_messages_total"] == engine.messages > 0
     assert len(spans) > 0
+
+
+def test_timeline_ingestion_is_bit_identical(golden, instrumented_fig5,
+                                             fig5_timelines):
+    """obs + ambient replay capture + both timeline ingestions leave
+    the engine snapshot bit-identical to the uninstrumented golden."""
+    engine, _, _, results = instrumented_fig5
+    tl_run, tl_trace = fig5_timelines
+
+    # Ingestion (including the pml flush it triggers) happened in the
+    # fixtures, before this snapshot — so any perturbation would show.
+    snap = snapshot_engine(engine)
+    snap["results"] = results
+    assert snap == dict(golden["fig5_shaped"])
+
+    # ...and both ingestion paths actually consumed the run.
+    for tl in (tl_run, tl_trace):
+        summary = tl.layer_summary()
+        assert summary["events"]["messages"] > 0
+        assert summary["events"]["collectives"] > 0
