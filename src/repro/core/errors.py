@@ -23,6 +23,7 @@ __all__ = [
     "MultipleCall",
     "InvalidRoot",
     "TraceSchemaError",
+    "ServeProtocolError",
     "error_class",
     "raise_for_code",
 ]
@@ -38,6 +39,17 @@ class TraceSchemaError(ValueError):
     an explicit ``schema=N`` marker for an unsupported ``N`` — as
     opposed to the legacy headerless files, which still load with a
     warning.
+    """
+
+
+class ServeProtocolError(ValueError):
+    """A ``repro.serve`` wire message violates the protocol.
+
+    The serving layer applies the same discipline as the on-disk
+    readers (:class:`TraceSchemaError`): every frame carries an
+    explicit ``schema=N`` field, and a frame this build cannot
+    understand — wrong schema, unknown request type, malformed or
+    oversized payload — is rejected loudly instead of being guessed at.
     """
 
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import sys
 from typing import List, Optional
 
 from repro import obs
@@ -143,11 +144,11 @@ def _instrumented_cell(args, capture_events: bool = False):
         raise
 
 
-def _print_points(points) -> None:
+def _print_points(points, file=None) -> None:
     for p in points:
         print(f"  {p.op} np={p.np_ranks} ints={p.n_ints}: "
               f"{p.t_baseline:.4f}s -> {p.t_reordered:.4f}s "
-              f"({p.speedup:.2f}x)")
+              f"({p.speedup:.2f}x)", file=file or sys.stdout)
 
 
 def _cmd_export(args) -> int:
@@ -225,9 +226,11 @@ def _cmd_diagnose(args) -> int:
             return 1
         tl = box["tl"]
         meta = {"trace": args.trace_in}
-        if not args.json:
-            print(f"diagnosing recorded trace {args.trace_in} "
-                  f"(no re-simulation)")
+        # Report to stdout, logs to stderr — the convention every
+        # machine-readable subcommand shares (repro.serve stats/query
+        # included), so `... --json | jq` always works.
+        print(f"diagnosing recorded trace {args.trace_in} "
+              f"(no re-simulation)", file=sys.stderr)
     else:
         registry, spans, engine, tracer, trace, points, sizes = \
             _instrumented_cell(args, capture_events=True)
@@ -238,14 +241,13 @@ def _cmd_diagnose(args) -> int:
             obs.disable()
         meta = {"op": args.op, "nodes": args.nodes,
                 "sizes": list(sizes), "seed": args.seed}
-        if not args.json:
-            _print_points(points)
+        _print_points(points, file=sys.stderr)
 
     report = diagnose(tl, meta=meta)
     errors = validate_report(report)
     if errors:  # pragma: no cover - report builder bug guard
         for e in errors:
-            print(f"error: {e}")
+            print(f"error: {e}", file=sys.stderr)
         return 1
     # --json promises a machine-readable stdout: nothing but the doc.
     if args.json:
@@ -258,14 +260,13 @@ def _cmd_diagnose(args) -> int:
         with atomic_write(args.report) as fh:
             json.dump(report, fh, indent=1, sort_keys=True)
             fh.write("\n")
-        if not args.json:
-            print(f"{args.report}: diagnosis report")
+        print(f"{args.report}: diagnosis report", file=sys.stderr)
     if args.chrome:
         doc = chrome_trace_from_timeline(tl, meta=meta,
                                          findings=report["findings"])
         write_chrome_trace(args.chrome, doc)
-        if not args.json:
-            print(f"{args.chrome}: Chrome trace with findings lane")
+        print(f"{args.chrome}: Chrome trace with findings lane",
+              file=sys.stderr)
     return 0
 
 

@@ -25,6 +25,12 @@ from repro.placement.metrics import (  # noqa: F401
     level_bytes,
     modeled_cost,
 )
+from repro.placement.focus import (  # noqa: F401
+    Focus,
+    focus_from_report,
+    load_focus,
+    weighted_matrix,
+)
 from repro.placement.reorder import (  # noqa: F401
     compute_mapping,
     redistribute_data,

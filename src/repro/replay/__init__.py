@@ -27,8 +27,11 @@ from __future__ import annotations
 __all__ = [
     "ReplayTrace",
     "ReplayResult",
+    "CompiledTrace",
+    "compile_trace",
     "replay",
     "what_if_search",
+    "score_candidate",
     "autorecord",
 ]
 
@@ -40,12 +43,12 @@ def __getattr__(name):
         from repro.replay.schema import ReplayTrace
 
         return ReplayTrace
-    if name in ("ReplayResult", "replay"):
+    if name in ("ReplayResult", "CompiledTrace", "compile_trace", "replay"):
         from repro.replay import engine as _engine
 
         return getattr(_engine, name)
-    if name == "what_if_search":
-        from repro.replay.search import what_if_search
+    if name in ("what_if_search", "score_candidate"):
+        from repro.replay import search as _search
 
-        return what_if_search
+        return getattr(_search, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

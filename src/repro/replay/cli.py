@@ -147,15 +147,30 @@ def _cmd_replay(args) -> int:
 
 def _cmd_search(args) -> int:
     from repro.experiments.common import render_table
+    from repro.replay.engine import compile_trace
     from repro.replay.search import STRATEGIES, what_if_search
 
     trace = _load(args.trace)
     strategies = ([s.strip() for s in args.strategies.split(",") if s.strip()]
                   if args.strategies else list(STRATEGIES))
+    focus = None
+    if args.focus_from:
+        from repro.placement.focus import DEFAULT_WEIGHT, load_focus
+
+        weight = (args.focus_weight if args.focus_weight is not None
+                  else DEFAULT_WEIGHT)
+        focus = load_focus(args.focus_from, weight=weight)
+        print(f"focus from {args.focus_from}: "
+              f"stragglers {list(focus.straggler_ranks) or '-'}, "
+              f"congested {list(focus.congested_classes) or '-'} "
+              f"(weight {focus.weight:g}x on the generator matrix)",
+              file=sys.stderr)
     t0 = time.perf_counter()
     res = what_if_search(trace, strategies=strategies, seed=args.seed,
-                         substitute=_parse_substitute(args.substitute))
+                         substitute=_parse_substitute(args.substitute),
+                         focus=focus)
     search_wall = time.perf_counter() - t0
+    book = compile_trace(trace)
     rows = [
         (c.strategy, round(c.makespan, 6),
          round(res.recorded_makespan / c.makespan, 3) if c.makespan else "inf",
@@ -172,6 +187,9 @@ def _cmd_search(args) -> int:
           f"(makespan {res.best.makespan:.6f}s, "
           f"{res.speedup:.2f}x vs recorded; search took {search_wall:.3f}s)")
     print(f"k = {list(map(int, res.k))}")
+    print(f"compiled book: {book.nbytes():,} bytes resident "
+          f"({book.n_messages} messages), shared across all "
+          f"{len(res.candidates)} candidates")
     if args.bench:
         _write_bench(args.bench, trace, res, search_wall)
     if args.json:
@@ -350,6 +368,13 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="comma-separated strategy list (default: all)")
     p.add_argument("--substitute", action="append", metavar="OP=ALG")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--focus-from", default=None, metavar="REPORT.json",
+                   help="seed/weight the candidate generators from a "
+                        "`repro.obs diagnose` report (straggler ranks + "
+                        "congested link classes)")
+    p.add_argument("--focus-weight", type=float, default=None,
+                   metavar="W", help="generator-matrix multiplier for "
+                                     "focused traffic (default 4)")
     p.add_argument("--json", metavar="PATH", default=None)
     p.add_argument("--bench", metavar="PATH", default=None,
                    help="also wall-time live re-simulation of every "

@@ -39,8 +39,9 @@ F       ``last[r] = tt`` (end-of-program compute tail)
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, NamedTuple, Optional
 
 import numpy as np
 
@@ -50,8 +51,8 @@ from repro.replay.schema import (
     topology_from_json,
 )
 
-__all__ = ["ReplayError", "ReplayVerifyError", "ReplayResult", "replay",
-           "trace_byte_matrix"]
+__all__ = ["ReplayError", "ReplayVerifyError", "ReplayResult",
+           "CompiledTrace", "compile_trace", "replay", "trace_byte_matrix"]
 
 CATEGORIES = ("p2p", "coll", "osc")
 
@@ -293,7 +294,54 @@ def _replay_recorded(trace: ReplayTrace, net, exact: bool,
 # compiled recorded-order replay (the placement-search hot path)
 
 
-def _compile_trace(trace: ReplayTrace):
+class CompiledTrace(NamedTuple):
+    """A trace pre-digested for repeated re-costing.
+
+    Tuple-compatible with the historical 7-tuple (the per-candidate
+    loop still destructures it positionally); :meth:`nbytes` adds the
+    memory estimate the serving layer's byte-bounded LRU evicts by.
+    """
+
+    prog: List[tuple]
+    counts: Dict[str, "np.ndarray"]
+    sizes: Dict[str, "np.ndarray"]
+    total_counts: Dict[str, "np.ndarray"]
+    total_sizes: Dict[str, "np.ndarray"]
+    n_messages: int
+    max_seq: int
+
+    def nbytes(self) -> int:
+        """Resident size of the book, in bytes.
+
+        Numpy buffers are exact; the compact op stream is estimated as
+        the list spine + each record's tuple shell + one boxed float /
+        large int per payload slot (CPython boxes are 28–32 bytes;
+        small ints and the empty-overhead 0.0 are interned, so 32 per
+        slot is a deliberate slight over-estimate — an LRU should err
+        toward evicting early, not late).
+        """
+        total = 0
+        for table in (self.counts, self.sizes,
+                      self.total_counts, self.total_sizes):
+            for mat in table.values():
+                total += int(mat.nbytes)
+        total += sys.getsizeof(self.prog)
+        for rec in self.prog:
+            total += sys.getsizeof(rec) + 32 * (len(rec) - 1)
+        return total
+
+
+def compile_trace(trace: ReplayTrace) -> CompiledTrace:
+    """Public spelling of the compile step (cached on the trace).
+
+    Standalone use: ``compile_trace(trace).nbytes()`` is what one hot
+    book costs to keep resident — the unit the ``repro.serve`` LRU
+    budgets by.
+    """
+    return _compile_trace(trace)
+
+
+def _compile_trace(trace: ReplayTrace) -> CompiledTrace:
     """Pre-digest a trace for repeated re-costing (cached on the trace).
 
     Two facts make this profitable: the byte matrices are
@@ -344,8 +392,8 @@ def _compile_trace(trace: ReplayTrace):
     sizes = books._dense(books.mon, weights=True)
     total_counts = books._dense(books.tot, weights=False)
     total_sizes = books._dense(books.tot, weights=True)
-    compiled = (prog, counts, sizes, total_counts, total_sizes,
-                n_messages, max_seq)
+    compiled = CompiledTrace(prog, counts, sizes, total_counts, total_sizes,
+                             n_messages, max_seq)
     trace._compiled = compiled
     return compiled
 

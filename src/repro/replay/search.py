@@ -39,7 +39,8 @@ from repro import obs as _obs
 from repro.replay.engine import replay, trace_byte_matrix
 from repro.replay.schema import ReplayTrace, params_from_json, topology_from_json
 
-__all__ = ["STRATEGIES", "Candidate", "SearchResult", "what_if_search"]
+__all__ = ["STRATEGIES", "Candidate", "SearchResult", "score_candidate",
+           "what_if_search"]
 
 STRATEGIES = ("identity", "treematch", "round_robin", "random", "greedy",
               "local")
@@ -102,11 +103,77 @@ def _candidate_placement(strategy: str, matrix, topology, allowed_pus,
         f"unknown search strategy {strategy!r}; have {STRATEGIES}")
 
 
+def _generator_matrix(matrix, topology, recorded, focus):
+    """The matrix the candidate *generators* see.
+
+    With a focus (:mod:`repro.placement.focus`) the matrix-driven
+    strategies optimize a re-weighted copy biased toward the diagnosed
+    straggler ranks / congested link classes; scoring always uses the
+    true matrix, so ranking stays honest.
+    """
+    if not focus:
+        return matrix
+    from repro.placement.focus import weighted_matrix
+
+    return weighted_matrix(matrix, topology, recorded, focus)
+
+
+def _score(trace: ReplayTrace, strategy: str, matrix, gen_matrix, topology,
+           params, recorded, seed: int,
+           substitute: Optional[Dict[str, str]]) -> Candidate:
+    from repro.placement import metrics as pmetrics
+
+    t0 = time.perf_counter()
+    placement = _candidate_placement(strategy, gen_matrix, topology,
+                                     recorded, seed)
+    res = replay(trace, binding=placement, substitute=substitute)
+    wall = time.perf_counter() - t0
+    return Candidate(
+        strategy=strategy,
+        placement=list(placement),
+        makespan=res.max_clock,
+        hop_bytes=pmetrics.hop_bytes(matrix, topology, placement),
+        inter_node_bytes=pmetrics.inter_node_bytes(
+            matrix, topology, placement),
+        modeled_cost=pmetrics.modeled_cost(
+            matrix, topology, placement, params),
+        wall_seconds=wall,
+    )
+
+
+def score_candidate(
+    trace: ReplayTrace,
+    strategy: str,
+    seed: int = 0,
+    substitute: Optional[Dict[str, str]] = None,
+    focus=None,
+) -> Candidate:
+    """Score one placement strategy against a recorded trace.
+
+    Candidates are independent — each replay rebuilds the network cost
+    model from the trace header, so scoring a strategy alone yields the
+    **bit-identical** Candidate that :func:`what_if_search` would have
+    produced for it inside a full sweep.  This is the unit of work the
+    ``repro.serve`` worker pool dispatches (and its result cache keys).
+    """
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown search strategy {strategy!r}; "
+                         f"have {STRATEGIES}")
+    topology = topology_from_json(trace.topology)
+    params = params_from_json(trace.params)
+    recorded = list(trace.binding)
+    matrix = trace_byte_matrix(trace)
+    gen_matrix = _generator_matrix(matrix, topology, recorded, focus)
+    return _score(trace, strategy, matrix, gen_matrix, topology, params,
+                  recorded, seed, substitute)
+
+
 def what_if_search(
     trace: ReplayTrace,
     strategies: Optional[Sequence[str]] = None,
     seed: int = 0,
     substitute: Optional[Dict[str, str]] = None,
+    focus=None,
 ) -> SearchResult:
     """Score candidate placements for a recorded trace by replay.
 
@@ -115,9 +182,10 @@ def what_if_search(
     cheaper-to-apply strategy wins an exact tie).  ``substitute``
     forwards a collective-algorithm substitution to every replay, so
     "what if we *also* switched the bcast to chain" composes with the
-    placement axis.
+    placement axis.  ``focus`` (a :class:`repro.placement.focus.Focus`
+    from a diagnosis report) re-weights the matrix the candidate
+    generators optimize; see :func:`_generator_matrix`.
     """
-    from repro.placement import metrics as pmetrics
     from repro.placement.mapping import reorder_permutation
 
     names = list(strategies) if strategies is not None else list(STRATEGIES)
@@ -132,37 +200,25 @@ def what_if_search(
     # One event sweep builds both this matrix and the compiled program
     # every candidate replay reuses.
     matrix = trace_byte_matrix(trace)
+    gen_matrix = _generator_matrix(matrix, topology, recorded, focus)
     reg = _obs.registry()
     rec = _obs.spans()
 
     candidates: List[Candidate] = []
-    for i, strategy in enumerate(names):
-        t0 = time.perf_counter()
+    for strategy in names:
         if rec is not None:
             rec.wall_begin(f"replay.search[{strategy}]")
         try:
-            placement = _candidate_placement(strategy, matrix, topology,
-                                             recorded, seed)
-            res = replay(trace, binding=placement, substitute=substitute)
+            cand = _score(trace, strategy, matrix, gen_matrix, topology,
+                          params, recorded, seed, substitute)
         finally:
             if rec is not None:
                 rec.wall_end()
-        wall = time.perf_counter() - t0
-        candidates.append(Candidate(
-            strategy=strategy,
-            placement=list(placement),
-            makespan=res.max_clock,
-            hop_bytes=pmetrics.hop_bytes(matrix, topology, placement),
-            inter_node_bytes=pmetrics.inter_node_bytes(
-                matrix, topology, placement),
-            modeled_cost=pmetrics.modeled_cost(
-                matrix, topology, placement, params),
-            wall_seconds=wall,
-        ))
+        candidates.append(cand)
         reg.counter("replay_search_candidates_total",
                     strategy=strategy).inc()
         reg.gauge("replay_search_makespan_seconds",
-                  strategy=strategy).set(res.max_clock)
+                  strategy=strategy).set(cand.makespan)
 
     order = sorted(range(len(candidates)),
                    key=lambda i: (candidates[i].makespan, i))
@@ -178,6 +234,7 @@ def what_if_search(
             "strategies": names,
             "seed": int(seed),
             "substitute": dict(substitute) if substitute else None,
+            "focus": focus.to_dict() if focus else None,
             "world_size": trace.world_size,
             "n_events": len(trace.events),
         },

@@ -1,0 +1,59 @@
+"""repro.serve — a concurrent placement-advisory service.
+
+The paper's loop is *monitoring data in, rank-reordering decision
+out*.  :mod:`repro.replay` made the decision step cheap — a recorded
+trace compiles once into placement-invariant books, and every what-if
+candidate re-costs in milliseconds.  This package serves that
+capability at traffic: a long-running asyncio daemon ingests recorded
+traces, keeps compiled books hot in a byte-bounded LRU keyed by
+content fingerprint, and answers placement what-if queries
+concurrently — cold candidates are scored on a supervised
+worker-process pool, hot (fingerprint, strategy, seed, substitution,
+focus) results come straight from the in-memory result cache.
+
+Pieces:
+
+* :mod:`repro.serve.protocol` — length-prefixed JSON over TCP/Unix
+  sockets, schema-versioned request/response envelopes with a
+  validator;
+* :mod:`repro.serve.store` — the compiled-book LRU (evicts by the
+  books' real :meth:`~repro.replay.engine.CompiledTrace.nbytes`);
+* :mod:`repro.serve.workers` — the supervised scoring pool
+  (per-batch timeouts, bounded retries with backoff, crashed-worker
+  replacement — the :mod:`repro.sweep.executor` discipline);
+* :mod:`repro.serve.server` — the async core: accept loop, per-trace
+  compile deduplication, candidate batching across queries, bounded
+  queue with explicit backpressure, graceful drain on SIGTERM;
+* :mod:`repro.serve.client` — the thin blocking client the CLI and
+  tests use;
+* :mod:`repro.serve.bench` — the load generator behind
+  ``python -m repro.serve bench`` and ``BENCH_serve.json``.
+
+CLI: ``python -m repro.serve start|ingest|query|stats|bench`` (also
+installed as the ``repro-serve`` console script).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PROTOCOL_SCHEMA",
+    "ServeClient",
+    "ServeConfig",
+    "PlacementServer",
+]
+
+
+def __getattr__(name):
+    if name == "PROTOCOL_SCHEMA":
+        from repro.serve.protocol import PROTOCOL_SCHEMA
+
+        return PROTOCOL_SCHEMA
+    if name == "ServeClient":
+        from repro.serve.client import ServeClient
+
+        return ServeClient
+    if name in ("ServeConfig", "PlacementServer"):
+        from repro.serve import server as _server
+
+        return getattr(_server, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,348 @@
+"""Load generator for the placement-advisory daemon.
+
+``python -m repro.serve bench`` spawns a real daemon as a subprocess
+on a private Unix socket, ingests a trace, and drives it through a
+cold phase (unique seeds, so every query runs the worker pool) and a
+ramp of hot phases (repeated queries at rising connection counts, so
+answers come from the result cache).  Per-phase it records QPS and
+p50/p99 latency plus the result-cache hit rate over the phase, then
+checks **parity**: one served query is compared field-by-field against
+a direct :func:`repro.replay.search.what_if_search` on the same trace
+and parameters — makespans, placements, and the permutation ``k`` must
+match exactly, which they do by construction (both paths run
+:func:`~repro.replay.search.score_candidate`).
+
+The committed ``BENCH_serve.json`` is written with
+``schema=BENCH_SERVE_SCHEMA`` and validated in CI by
+:func:`verify_bench` (sustained hot-phase QPS ≥ 1000 and exact
+parity).  Measurement bound, stated honestly: the numbers come from a
+single CI-class host over loopback — client, daemon, and workers share
+the CPUs recorded in ``host.cpu_count``, so they are a *lower* bound
+on what a dedicated daemon host would serve, not a cluster claim.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.serve import protocol
+from repro.serve.client import ServeClient
+
+__all__ = ["BENCH_SERVE_SCHEMA", "run_bench", "verify_bench",
+           "DEFAULT_MIN_QPS"]
+
+BENCH_SERVE_SCHEMA = 1
+
+#: The acceptance floor for hot-phase throughput on a CI host.
+DEFAULT_MIN_QPS = 1000.0
+
+_HOT_STRATEGIES = ["identity", "treematch", "greedy"]
+
+
+def _percentile(sorted_vals: List[float], q: float) -> float:
+    if not sorted_vals:
+        return 0.0
+    idx = min(len(sorted_vals) - 1, int(round(q * (len(sorted_vals) - 1))))
+    return sorted_vals[idx]
+
+
+# ---------------------------------------------------------------------------
+# the async load loop
+
+
+async def _client_loop(sock_path: str, query: Dict[str, Any],
+                       stop_at: float, latencies: List[float]) -> int:
+    reader, writer = await asyncio.open_unix_connection(sock_path)
+    n = 0
+    try:
+        while time.perf_counter() < stop_at:
+            t0 = time.perf_counter()
+            await protocol.write_frame_async(writer, query)
+            reply = await protocol.read_frame_async(reader)
+            latencies.append(time.perf_counter() - t0)
+            if reply is None or reply.get("type") != "result":
+                raise RuntimeError(f"bench query failed: {reply!r}")
+            n += 1
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+    return n
+
+
+async def _hot_phase(sock_path: str, query: Dict[str, Any],
+                     connections: int, duration_s: float) -> Dict[str, Any]:
+    latencies: List[float] = []
+    stop_at = time.perf_counter() + duration_s
+    t0 = time.perf_counter()
+    counts = await asyncio.gather(*[
+        _client_loop(sock_path, query, stop_at, latencies)
+        for _ in range(connections)
+    ])
+    wall = time.perf_counter() - t0
+    latencies.sort()
+    total = sum(counts)
+    return {
+        "connections": connections,
+        "duration_s": round(wall, 4),
+        "requests": total,
+        "qps": round(total / wall, 1) if wall else 0.0,
+        "p50_ms": round(_percentile(latencies, 0.50) * 1e3, 4),
+        "p99_ms": round(_percentile(latencies, 0.99) * 1e3, 4),
+    }
+
+
+# ---------------------------------------------------------------------------
+# daemon management
+
+
+def _spawn_daemon(sock_path: str, jobs: int, log_path: str):
+    env = dict(os.environ)
+    log = open(log_path, "wb")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "start",
+         "--socket", sock_path, "--jobs", str(jobs)],
+        stdout=log, stderr=log, env=env)
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            log.close()
+            with open(log_path, "r", encoding="utf-8",
+                      errors="replace") as fh:
+                raise RuntimeError(
+                    f"daemon exited rc={proc.returncode} before serving:\n"
+                    + fh.read())
+        if os.path.exists(sock_path):
+            try:
+                with ServeClient(path=sock_path, timeout_s=5.0) as c:
+                    c.ping()
+                return proc, log
+            except OSError:
+                pass
+        time.sleep(0.05)
+    proc.kill()
+    log.close()
+    raise RuntimeError("daemon did not come up within 30s")
+
+
+# ---------------------------------------------------------------------------
+# parity: served results vs the direct search
+
+
+def _parity_check(trace_path: str, served: Dict[str, Any],
+                  strategies: List[str], seed: int) -> Dict[str, Any]:
+    from repro.replay.schema import ReplayTrace
+    from repro.replay.search import what_if_search
+
+    trace = ReplayTrace.load(trace_path)
+    direct = what_if_search(trace, strategies=strategies, seed=seed)
+    mismatches: List[str] = []
+    direct_by = {c.strategy: c for c in direct.candidates}
+    for cand in served["candidates"]:
+        ref = direct_by[cand["strategy"]]
+        if cand["makespan"] != ref.makespan:
+            mismatches.append(
+                f"{cand['strategy']}: makespan {cand['makespan']!r} "
+                f"!= {ref.makespan!r}")
+        if [int(p) for p in cand["placement"]] != \
+                [int(p) for p in ref.placement]:
+            mismatches.append(f"{cand['strategy']}: placement differs")
+    if served["best"] != direct.best.strategy:
+        mismatches.append(
+            f"best {served['best']} != {direct.best.strategy}")
+    if [int(v) for v in served["k"]] != [int(v) for v in direct.k]:
+        mismatches.append("permutation k differs")
+    if served["recorded_makespan"] != direct.recorded_makespan:
+        mismatches.append("recorded_makespan differs")
+    return {
+        "ok": not mismatches,
+        "strategies": strategies,
+        "seed": seed,
+        "mismatches": mismatches,
+    }
+
+
+# ---------------------------------------------------------------------------
+# the bench
+
+
+def run_bench(
+    trace_path: str,
+    out_path: Optional[str] = None,
+    jobs: int = 2,
+    duration_s: float = 2.0,
+    connection_ramp: (tuple) = (1, 4, 16),
+    cold_queries: int = 16,
+    min_qps: float = DEFAULT_MIN_QPS,
+) -> Dict[str, Any]:
+    """Benchmark a live daemon end to end; returns (and writes) the doc."""
+    if min_qps is None:
+        min_qps = DEFAULT_MIN_QPS
+    trace_path = os.path.abspath(trace_path)
+    tmpdir = tempfile.mkdtemp(prefix="repro-serve-bench-")
+    sock_path = os.path.join(tmpdir, "serve.sock")
+    log_path = os.path.join(tmpdir, "daemon.log")
+    proc, log = _spawn_daemon(sock_path, jobs, log_path)
+    doc = None
+    try:
+        doc = _run_phases(sock_path, trace_path, jobs, duration_s,
+                          connection_ramp, cold_queries, min_qps)
+    finally:
+        try:
+            with ServeClient(path=sock_path, timeout_s=10.0) as c:
+                c.shutdown()
+        except Exception:
+            proc.terminate()
+        rc = proc.wait(timeout=30.0)
+        log.close()
+        if doc is not None:
+            doc["daemon_exit_code"] = rc
+    if out_path:
+        tmp = out_path + ".tmp"
+        with open(tmp, "w", encoding="ascii") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, out_path)
+        print(f"[bench] wrote {out_path}", file=sys.stderr)
+    return doc
+
+
+def _run_phases(sock_path: str, trace_path: str, jobs: int,
+                duration_s: float, connection_ramp, cold_queries: int,
+                min_qps: float) -> Dict[str, Any]:
+    with ServeClient(path=sock_path, timeout_s=300.0) as client:
+        ing = client.ingest(trace_path, compile=True)
+        fp = ing["fingerprint"]
+        print(f"[bench] ingested {os.path.basename(trace_path)} "
+              f"fp={fp[:12]}… book={ing.get('nbytes', 0):,} bytes",
+              file=sys.stderr)
+
+        # Cold phase: unique seeds force every query through the pool.
+        cold_lat: List[float] = []
+        t0 = time.perf_counter()
+        for i in range(cold_queries):
+            q0 = time.perf_counter()
+            client.query(fp, strategies=["random"], seed=i)
+            cold_lat.append(time.perf_counter() - q0)
+        cold_wall = time.perf_counter() - t0
+        cold_lat.sort()
+        cold_phase = {
+            "name": "cold",
+            "connections": 1,
+            "duration_s": round(cold_wall, 4),
+            "requests": cold_queries,
+            "qps": round(cold_queries / cold_wall, 1) if cold_wall else 0.0,
+            "p50_ms": round(_percentile(cold_lat, 0.50) * 1e3, 4),
+            "p99_ms": round(_percentile(cold_lat, 0.99) * 1e3, 4),
+            "hit_rate": 0.0,
+        }
+        print(f"[bench] cold: {cold_phase['qps']} qps "
+              f"p50={cold_phase['p50_ms']}ms", file=sys.stderr)
+
+        # Warm the hot cells once, then ramp connections.
+        hot_query = {"type": "query", "fingerprint": fp,
+                     "strategies": _HOT_STRATEGIES, "seed": 0}
+        client.query(fp, strategies=_HOT_STRATEGIES, seed=0)
+        phases = [cold_phase]
+        for conns in connection_ramp:
+            before = client.stats()["metrics"]["counters"]
+            phase = asyncio.run(
+                _hot_phase(sock_path, hot_query, conns, duration_s))
+            after = client.stats()["metrics"]["counters"]
+            hits = (after.get("repro_serve_result_cache_hits_total", 0)
+                    - before.get("repro_serve_result_cache_hits_total", 0))
+            misses = (after.get("repro_serve_result_cache_misses_total", 0)
+                      - before.get("repro_serve_result_cache_misses_total",
+                                   0))
+            phase["name"] = f"hot-c{conns}"
+            phase["hit_rate"] = (round(hits / (hits + misses), 4)
+                                 if hits + misses else 1.0)
+            phases.append(phase)
+            print(f"[bench] {phase['name']}: {phase['qps']} qps "
+                  f"p50={phase['p50_ms']}ms p99={phase['p99_ms']}ms "
+                  f"hit_rate={phase['hit_rate']}", file=sys.stderr)
+
+        served = client.query(fp, strategies=_HOT_STRATEGIES, seed=0)
+        parity = _parity_check(trace_path, served, _HOT_STRATEGIES, 0)
+        stats = client.stats()
+
+    hot = [p for p in phases if p["name"].startswith("hot")]
+    sustained = max((p["qps"] for p in hot), default=0.0)
+    return {
+        "schema": BENCH_SERVE_SCHEMA,
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": sys.platform,
+            "python": sys.version.split()[0],
+        },
+        "config": {
+            "jobs": jobs,
+            "duration_s": duration_s,
+            "connection_ramp": list(connection_ramp),
+            "cold_queries": cold_queries,
+            "hot_strategies": _HOT_STRATEGIES,
+        },
+        "trace": {
+            "file": os.path.basename(trace_path),
+            "fingerprint": fp,
+            "world_size": served["meta"]["world_size"],
+            "n_events": served["meta"]["n_events"],
+            "book_nbytes": stats["store"]["bytes"],
+        },
+        "phases": phases,
+        "sustained_qps": sustained,
+        "min_qps": min_qps,
+        "parity": parity,
+        "store": stats["store"],
+        "pool": stats["pool"],
+        "note": ("single-host loopback measurement: client, daemon and "
+                 "scoring workers share host.cpu_count CPUs, so "
+                 "sustained_qps is a lower bound on a dedicated host"),
+    }
+
+
+# ---------------------------------------------------------------------------
+# CI validation
+
+
+def verify_bench(doc: Dict[str, Any],
+                 min_qps: Optional[float] = None) -> Dict[str, Any]:
+    """Validate a BENCH_serve.json document; raises ValueError.
+
+    Checks the schema, the phase records, the sustained hot-phase QPS
+    floor, and exact serve/direct parity.
+    """
+    if doc.get("schema") != BENCH_SERVE_SCHEMA:
+        raise ValueError(f"bench schema={doc.get('schema')!r}, expected "
+                         f"{BENCH_SERVE_SCHEMA}")
+    floor = float(min_qps if min_qps is not None
+                  else doc.get("min_qps") or DEFAULT_MIN_QPS)
+    phases = doc.get("phases")
+    if not isinstance(phases, list) or not phases:
+        raise ValueError("bench has no phases")
+    for phase in phases:
+        for key in ("name", "connections", "requests", "qps",
+                    "p50_ms", "p99_ms", "hit_rate"):
+            if key not in phase:
+                raise ValueError(f"phase {phase.get('name')!r} lacks {key!r}")
+    if not any(p["name"].startswith("hot") for p in phases):
+        raise ValueError("bench has no hot phase")
+    sustained = float(doc.get("sustained_qps", 0.0))
+    if sustained < floor:
+        raise ValueError(
+            f"sustained hot-phase throughput {sustained} qps is below the "
+            f"{floor} qps floor")
+    parity = doc.get("parity") or {}
+    if not parity.get("ok"):
+        raise ValueError("serve/direct parity failed: "
+                         + "; ".join(parity.get("mismatches", ["missing"])))
+    return doc

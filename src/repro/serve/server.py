@@ -1,0 +1,532 @@
+"""The placement-advisory daemon: async core of ``repro.serve``.
+
+One asyncio task per connection reads length-prefixed JSON requests
+(:mod:`repro.serve.protocol`) and dispatches them against three pieces
+of shared state:
+
+* the **book store** — a byte-bounded LRU of compiled traces keyed by
+  content fingerprint (:mod:`repro.serve.store`).  Compilation is
+  deduplicated with single-flight futures: when N clients race on a
+  cold fingerprint, exactly one compile runs (on an executor thread so
+  the loop keeps serving) and all N await the same future.  The
+  fingerprint → path registry survives eviction, so an evicted book
+  recompiles transparently on the next query.
+* the **result cache + scoring pool** — per-candidate results are
+  cached under ``(fingerprint, strategy, seed, substitution, focus)``;
+  this is sound because :func:`repro.replay.search.score_candidate` is
+  deterministic and candidates are independent.  Cold cells are
+  deduplicated the same single-flight way and dispatched to the
+  supervised worker pool (:mod:`repro.serve.workers`), which batches
+  candidates across concurrent queries.
+* the **admission gate** — a query that needs more cold cells than the
+  scoring queue has room for is rejected *before* anything is
+  enqueued, with an ``overloaded`` error the client can retry on.
+  Cache-hit-only queries are always admitted; backpressure applies to
+  work, not to answers the server already has.
+
+SIGTERM/SIGINT triggers a graceful drain: the listener closes, new
+requests on live connections get ``shutting-down`` errors, in-flight
+requests run to completion and their responses are written, then the
+pool shuts down and the daemon exits 0.
+
+Every request is observed on the server's own
+:class:`~repro.obs.metrics.MetricsRegistry`: request-latency
+histograms with sub-millisecond buckets, result-cache hit/miss
+counters, a queue-depth gauge, worker-utilization and compile
+counters.  The ``stats`` request returns the live snapshot.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import sys
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.errors import ServeProtocolError
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import protocol
+from repro.serve.store import BookEntry, BookStore
+from repro.serve.workers import ScoreTask, WorkerPool
+
+__all__ = ["ServeConfig", "PlacementServer", "LATENCY_BUCKETS"]
+
+#: Sub-millisecond latency resolution: hot (cached) queries answer in
+#: tens of microseconds, cold ones in tens of milliseconds.
+LATENCY_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+
+@dataclass
+class ServeConfig:
+    """Daemon knobs; the CLI maps flags onto this 1:1."""
+
+    socket: Optional[str] = None     # Unix socket path (preferred)
+    host: Optional[str] = None       # TCP instead, with port
+    port: int = 0
+    jobs: int = 2                    # scoring worker processes
+    timeout_s: float = 60.0          # per-candidate scoring timeout
+    retries: int = 2                 # scoring attempts beyond the first
+    backoff_s: float = 0.05          # retry backoff base (doubles)
+    cache_bytes: int = 256 * 1024 * 1024   # compiled-book LRU budget
+    max_queue: int = 256             # cold-cell admission bound
+    batch: int = 8                   # candidates per worker round trip
+    result_cache_max: int = 65536    # per-candidate result entries
+
+    def __post_init__(self):
+        if not self.socket and not self.host:
+            raise ValueError("ServeConfig needs a unix socket path or a "
+                             "host/port")
+
+    def endpoint(self) -> str:
+        return self.socket if self.socket else f"{self.host}:{self.port}"
+
+
+class PlacementServer:
+    """The daemon.  ``await run()`` serves until shutdown."""
+
+    def __init__(self, config: ServeConfig):
+        self.config = config
+        self.metrics = MetricsRegistry()
+        self.store = BookStore(max_bytes=config.cache_bytes)
+        self.pool = WorkerPool(
+            jobs=config.jobs, timeout_s=config.timeout_s,
+            retries=config.retries, backoff_s=config.backoff_s,
+            batch=config.batch, book_bytes=config.cache_bytes)
+        self._paths: Dict[str, str] = {}          # fingerprint -> trace path
+        self._compiling: Dict[str, asyncio.Future] = {}
+        self._results: "OrderedDict[Tuple, Dict[str, Any]]" = OrderedDict()
+        self._responses: "OrderedDict[Tuple, Dict[str, Any]]" = OrderedDict()
+        self._inflight: Dict[Tuple, asyncio.Future] = {}
+        self._pending_cells = 0                   # admitted, not yet done
+        self._active_requests = 0
+        self._draining = False
+        self._shutdown = asyncio.Event()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conns: set = set()          # (task, writer) of live handlers
+        self._started_at = time.monotonic()
+        self.exit_code = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        await self.pool.start()
+        if self.config.socket:
+            path = self.config.socket
+            if os.path.exists(path):
+                os.unlink(path)
+            self._server = await asyncio.start_unix_server(
+                self._handle_conn, path=path)
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_conn, host=self.config.host,
+                port=self.config.port)
+            if self.config.port == 0:
+                self.config.port = \
+                    self._server.sockets[0].getsockname()[1]
+        self._started_at = time.monotonic()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self.request_shutdown)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+
+    def request_shutdown(self) -> None:
+        """Begin the graceful drain (idempotent; signal-handler safe)."""
+        self._draining = True
+        self._shutdown.set()
+
+    async def run(self) -> int:
+        """Serve until :meth:`request_shutdown`, then drain and stop."""
+        if self._server is None:
+            await self.start()
+        self._log(f"serving on {self.config.endpoint()} "
+                  f"(jobs={self.config.jobs}, "
+                  f"cache={self.store.max_bytes // (1024 * 1024)}MiB, "
+                  f"queue={self.config.max_queue})")
+        await self._shutdown.wait()
+        self._log("drain: listener closed, finishing in-flight requests")
+        self._server.close()
+        await self._server.wait_closed()
+        await self._idle.wait()           # in-flight requests responded
+        # Idle keep-alive connections would otherwise die noisily when
+        # the loop tears down; hang up on them now that work is done.
+        for task, writer in list(self._conns):
+            writer.close()
+        if self._conns:
+            await asyncio.gather(*(t for t, _w in list(self._conns)),
+                                 return_exceptions=True)
+        await self.pool.stop()
+        if self.config.socket and os.path.exists(self.config.socket):
+            os.unlink(self.config.socket)
+        self._log("drain complete")
+        return self.exit_code
+
+    def _log(self, msg: str) -> None:
+        print(f"[repro-serve] {msg}", file=sys.stderr, flush=True)
+
+    # -- connection handling -------------------------------------------
+
+    async def _handle_conn(self, reader, writer) -> None:
+        me = (asyncio.current_task(), writer)
+        self._conns.add(me)
+        try:
+            while True:
+                try:
+                    doc = await protocol.read_frame_async(reader)
+                except ServeProtocolError as exc:
+                    await self._send_error(writer, "bad-request", str(exc))
+                    break
+                if doc is None:
+                    break
+                await self._serve_request(doc, writer)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._conns.discard(me)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _serve_request(self, doc: Dict[str, Any], writer) -> None:
+        t0 = time.perf_counter()
+        try:
+            mtype = protocol.validate_request(doc)
+        except ServeProtocolError as exc:
+            await self._send_error(writer, "bad-request", str(exc))
+            return
+        self.metrics.counter("repro_serve_requests_total", type=mtype).inc()
+        if self._draining and mtype not in ("ping", "stats", "shutdown"):
+            await self._send_error(writer, "shutting-down",
+                                   "daemon is draining; not accepting work")
+            return
+        self._active_requests += 1
+        self._idle.clear()
+        try:
+            if mtype == "ping":
+                reply = {"type": "pong"}
+            elif mtype == "ingest":
+                reply = await self._do_ingest(doc)
+            elif mtype == "query":
+                reply = await self._do_query(doc)
+            elif mtype == "stats":
+                reply = self._do_stats()
+            else:  # shutdown
+                reply = {"type": "bye", "draining": True}
+                self.request_shutdown()
+            reply.setdefault("elapsed_s", time.perf_counter() - t0)
+            await protocol.write_frame_async(writer, reply)
+        except _Reject as rej:
+            self.metrics.counter("repro_serve_rejected_total",
+                                 code=rej.code).inc()
+            await self._send_error(writer, rej.code, str(rej))
+        except ServeProtocolError as exc:
+            await self._send_error(writer, "bad-request", str(exc))
+        except FileNotFoundError as exc:
+            await self._send_error(writer, "bad-request", str(exc))
+        except Exception as exc:  # noqa: BLE001 - fail loudly, keep serving
+            self._log(f"internal error on {mtype}: {exc!r}")
+            await self._send_error(writer, "internal", repr(exc))
+        finally:
+            self._active_requests -= 1
+            if self._active_requests == 0:
+                self._idle.set()
+            self.metrics.histogram("repro_serve_request_seconds",
+                                   buckets=LATENCY_BUCKETS,
+                                   type=mtype).observe(
+                time.perf_counter() - t0)
+
+    async def _send_error(self, writer, code: str, message: str) -> None:
+        assert code in protocol.ERROR_CODES
+        try:
+            await protocol.write_frame_async(
+                writer, {"type": "error", "code": code, "message": message})
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+
+    # -- ingest --------------------------------------------------------
+
+    async def _do_ingest(self, doc: Dict[str, Any]) -> Dict[str, Any]:
+        from repro.core.fingerprint import file_digest
+
+        path = os.path.abspath(doc["path"])
+        loop = asyncio.get_running_loop()
+        fp = await loop.run_in_executor(None, file_digest, path)
+        known = fp in self._paths
+        self._paths[fp] = path
+        reply = {
+            "type": "ingested",
+            "fingerprint": fp,
+            "path": path,
+            "known": known,
+            "compiled": False,
+        }
+        if doc.get("compile", True):
+            entry = await self._ensure_book(fp)
+            reply["compiled"] = True
+            reply["nbytes"] = entry.nbytes
+            reply["world_size"] = entry.trace.world_size
+            reply["n_events"] = len(entry.trace.events)
+        self._observe_store()
+        return reply
+
+    async def _ensure_book(self, fp: str) -> BookEntry:
+        """Hot book for ``fp`` — compiling at most once per residency.
+
+        Single-flight: concurrent callers on a cold fingerprint share
+        one future; the compile itself runs on an executor thread.
+        """
+        entry = self.store.get(fp)
+        if entry is not None:
+            return entry
+        fut = self._compiling.get(fp)
+        if fut is not None:
+            return await fut
+        loop = asyncio.get_running_loop()
+        fut = loop.create_future()
+        self._compiling[fp] = fut
+        try:
+            path = self._paths.get(fp)
+            if path is None:
+                raise _Reject(
+                    "unknown-fingerprint",
+                    f"fingerprint {fp[:12]}… was never ingested here")
+            entry = await loop.run_in_executor(
+                None, self._compile_blocking, fp, path)
+            self.metrics.counter("repro_serve_compiles_total").inc()
+            evicted = self.store.put(entry)
+            for gone in evicted:
+                self._log(f"evicted book {gone[:12]}… "
+                          f"(budget {self.store.max_bytes} bytes)")
+            fut.set_result(entry)
+            return entry
+        except BaseException as exc:
+            fut.set_exception(exc)
+            # someone may already be awaiting it; don't also warn
+            fut.exception()
+            raise
+        finally:
+            del self._compiling[fp]
+
+    @staticmethod
+    def _compile_blocking(fp: str, path: str) -> BookEntry:
+        from repro.replay.schema import ReplayTrace
+
+        trace = ReplayTrace.load(path)
+        return BookEntry.build(fp, path, trace)
+
+    # -- query ---------------------------------------------------------
+
+    async def _do_query(self, doc: Dict[str, Any]) -> Dict[str, Any]:
+        from repro.placement.mapping import reorder_permutation
+        from repro.replay.search import STRATEGIES
+
+        fp = doc["fingerprint"]
+        if fp not in self._paths:
+            raise _Reject("unknown-fingerprint",
+                          f"fingerprint {fp[:12]}… was never ingested here")
+        strategies = doc.get("strategies") or list(STRATEGIES)
+        for s in strategies:
+            if s not in STRATEGIES:
+                raise ServeProtocolError(
+                    f"unknown strategy {s!r}; have {STRATEGIES}")
+        seed = int(doc.get("seed", 0))
+        substitute = doc.get("substitute")
+        focus = doc.get("focus")
+
+        # Hot path: the whole ranked response for this exact query was
+        # built before — answer from memory without touching the pool,
+        # the book store, or the ranking code.
+        keys = [self._cell_key(fp, s, seed, substitute, focus)
+                for s in strategies]
+        response_key = (tuple(keys),)
+        hot = self._responses.get(response_key)
+        if hot is not None:
+            self._responses.move_to_end(response_key)
+            self.metrics.counter(
+                "repro_serve_result_cache_hits_total").inc(len(keys))
+            reply = dict(hot)
+            reply["cache"] = {"hits": len(keys), "misses": 0}
+            return reply
+        hits = misses = 0
+        waits: List[Tuple[int, asyncio.Future]] = []
+        cold: List[Tuple[int, Tuple]] = []
+        results: List[Optional[Dict[str, Any]]] = [None] * len(keys)
+        for i, key in enumerate(keys):
+            cached = self._results.get(key)
+            if cached is not None:
+                self._results.move_to_end(key)
+                results[i] = cached
+                hits += 1
+                continue
+            misses += 1
+            fut = self._inflight.get(key)
+            if fut is not None:
+                waits.append((i, fut))
+            else:
+                cold.append((i, key))
+
+        # Admission control: reject before enqueueing anything.
+        if cold and self._pending_cells + len(cold) > self.config.max_queue:
+            raise _Reject(
+                "overloaded",
+                f"scoring queue full ({self._pending_cells} pending, "
+                f"{len(cold)} new cells, bound {self.config.max_queue}); "
+                "retry later")
+        if hits:
+            self.metrics.counter(
+                "repro_serve_result_cache_hits_total").inc(hits)
+        if misses:
+            self.metrics.counter(
+                "repro_serve_result_cache_misses_total").inc(misses)
+
+        # Register + submit cold cells *before* the first await: between
+        # classification and registration the loop must not suspend, or
+        # a concurrent identical query would double-score the cell.
+        for i, key in cold:
+            task = ScoreTask(fingerprint=fp, path=self._paths[fp],
+                             strategy=strategies[i], seed=seed,
+                             substitute=substitute, focus=focus)
+            fut = self.pool.submit(task)
+            shared = asyncio.get_running_loop().create_future()
+            self._inflight[key] = shared
+            self._pending_cells += 1
+            self._observe_queue()
+            fut.add_done_callback(
+                lambda f, key=key, shared=shared: self._cell_done(
+                    key, shared, f))
+            waits.append((i, shared))
+
+        # The hot book yields the recorded binding/clocks the response
+        # needs (workers load their own copy from the path).
+        entry = await self._ensure_book(fp)
+
+        for i, fut in waits:
+            results[i] = await asyncio.shield(fut)
+
+        order = sorted(range(len(results)),
+                       key=lambda i: (results[i]["makespan"], i))
+        ranked = [results[i] for i in order]
+        best = ranked[0]
+        recorded = list(entry.trace.binding)
+        k = reorder_permutation(best["placement"], recorded)
+        recorded_makespan = (max(entry.trace.clocks)
+                             if entry.trace.clocks else 0.0)
+        reply = {
+            "type": "result",
+            "fingerprint": fp,
+            "recorded_makespan": recorded_makespan,
+            "best": best["strategy"],
+            "speedup": (recorded_makespan / best["makespan"]
+                        if best["makespan"] else float("inf")),
+            "k": [int(v) for v in k],
+            "candidates": ranked,
+            "cache": {"hits": hits, "misses": misses},
+            "meta": {
+                "strategies": strategies,
+                "seed": seed,
+                "substitute": dict(substitute) if substitute else None,
+                "focus": focus,
+                "world_size": entry.trace.world_size,
+                "n_events": len(entry.trace.events),
+            },
+        }
+        self._responses[response_key] = reply
+        while len(self._responses) > self.config.result_cache_max:
+            self._responses.popitem(last=False)
+        return dict(reply)
+
+    def _cell_done(self, key: Tuple, shared: "asyncio.Future",
+                   fut: "asyncio.Future") -> None:
+        self._pending_cells -= 1
+        self._observe_queue()
+        self._inflight.pop(key, None)
+        if fut.cancelled():
+            shared.cancel()
+            return
+        exc = fut.exception()
+        if exc is not None:
+            shared.set_exception(exc)
+            shared.exception()  # may have multiple awaiters or none
+            return
+        result = fut.result()
+        self._results[key] = result
+        while len(self._results) > self.config.result_cache_max:
+            self._results.popitem(last=False)
+        shared.set_result(result)
+
+    @staticmethod
+    def _cell_key(fp: str, strategy: str, seed: int, substitute,
+                  focus) -> Tuple:
+        sub_key = (json.dumps(substitute, sort_keys=True,
+                              separators=(",", ":"))
+                   if substitute else "")
+        focus_key = (json.dumps(focus, sort_keys=True,
+                                separators=(",", ":")) if focus else "")
+        return (fp, strategy, seed, sub_key, focus_key)
+
+    # -- stats ---------------------------------------------------------
+
+    def _do_stats(self) -> Dict[str, Any]:
+        self._observe_store()
+        self._observe_queue()
+        self.metrics.gauge("repro_serve_worker_utilization").set(
+            round(self.pool.stats.utilization(), 4))
+        pool = self.pool.stats
+        return {
+            "type": "stats",
+            "endpoint": self.config.endpoint(),
+            "uptime_s": time.monotonic() - self._started_at,
+            "draining": self._draining,
+            "traces_known": len(self._paths),
+            "store": self.store.stats(),
+            "result_cache": {
+                "entries": len(self._results),
+                "max_entries": self.config.result_cache_max,
+            },
+            "queue": {
+                "pending_cells": self._pending_cells,
+                "max_queue": self.config.max_queue,
+            },
+            "pool": {
+                "workers": pool.workers,
+                "spawned": pool.workers_spawned,
+                "replaced": pool.workers_replaced,
+                "batches": pool.batches,
+                "tasks_ok": pool.tasks_ok,
+                "tasks_failed": pool.tasks_failed,
+                "retries": pool.retries,
+                "utilization": round(pool.utilization(), 4),
+            },
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def _observe_store(self) -> None:
+        stats = self.store.stats()
+        self.metrics.gauge("repro_serve_books_resident").set(
+            stats["entries"])
+        self.metrics.gauge("repro_serve_books_bytes").set(stats["bytes"])
+
+    def _observe_queue(self) -> None:
+        self.metrics.gauge("repro_serve_queue_depth").set(
+            self._pending_cells)
+
+
+class _Reject(Exception):
+    """A request refused with a protocol error code (not a bug)."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code

@@ -1,0 +1,129 @@
+"""The compiled-book store: a byte-bounded LRU keyed by fingerprint.
+
+A *book* is one ingested trace held hot: the parsed
+:class:`~repro.replay.schema.ReplayTrace` plus its compiled form
+(:class:`~repro.replay.engine.CompiledTrace`).  Keys are **content
+fingerprints** (:func:`repro.core.fingerprint.file_digest` of the
+trace file), so the same trace ingested twice — or by two different
+paths — occupies one slot, and a re-recorded file at the same path is
+a *different* book.
+
+Eviction is by real resident size, not entry count: each entry's
+``nbytes`` sums the compiled book's numpy buffers + op stream
+(:meth:`CompiledTrace.nbytes`) and an estimate of the raw event
+tuples, and the store drops least-recently-used entries until the
+total fits ``max_bytes``.  The most recent entry is never evicted —
+a budget smaller than one book still serves that book (it just can't
+keep a second one warm).
+
+The store itself is synchronous and unlocked: the server wraps it in
+the event loop (single-threaded access), and each worker process owns
+a private instance.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["BookEntry", "BookStore", "trace_events_nbytes"]
+
+
+def trace_events_nbytes(trace) -> int:
+    """Estimated resident size of a trace's raw event stream.
+
+    Same accounting as :meth:`CompiledTrace.nbytes`: list spine +
+    tuple shells + 32 bytes per boxed payload slot.
+    """
+    events = trace.events
+    total = sys.getsizeof(events)
+    for ev in events:
+        total += sys.getsizeof(ev) + 32 * (len(ev) - 1)
+    return total
+
+
+@dataclass
+class BookEntry:
+    fingerprint: str
+    path: str
+    trace: object          # ReplayTrace
+    compiled: object       # CompiledTrace
+    nbytes: int
+
+    @classmethod
+    def build(cls, fingerprint: str, path: str, trace) -> "BookEntry":
+        from repro.replay.engine import compile_trace
+
+        compiled = compile_trace(trace)
+        return cls(
+            fingerprint=fingerprint,
+            path=path,
+            trace=trace,
+            compiled=compiled,
+            nbytes=compiled.nbytes() + trace_events_nbytes(trace),
+        )
+
+
+class BookStore:
+    """Size-bounded LRU of :class:`BookEntry` objects."""
+
+    def __init__(self, max_bytes: int = 256 * 1024 * 1024):
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        self.max_bytes = int(max_bytes)
+        self._entries: "OrderedDict[str, BookEntry]" = OrderedDict()
+        self.total_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._entries
+
+    def fingerprints(self) -> List[str]:
+        """Coldest-first order (the eviction order)."""
+        return list(self._entries)
+
+    def get(self, fingerprint: str) -> Optional[BookEntry]:
+        """Hit: the entry becomes most-recently-used.  Miss: None."""
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(fingerprint)
+        self.hits += 1
+        return entry
+
+    def peek(self, fingerprint: str) -> Optional[BookEntry]:
+        """Like :meth:`get` but touches neither recency nor counters."""
+        return self._entries.get(fingerprint)
+
+    def put(self, entry: BookEntry) -> List[str]:
+        """Insert (or refresh) an entry; returns evicted fingerprints."""
+        old = self._entries.pop(entry.fingerprint, None)
+        if old is not None:
+            self.total_bytes -= old.nbytes
+        self._entries[entry.fingerprint] = entry
+        self.total_bytes += entry.nbytes
+        evicted: List[str] = []
+        while self.total_bytes > self.max_bytes and len(self._entries) > 1:
+            fp, dropped = self._entries.popitem(last=False)
+            self.total_bytes -= dropped.nbytes
+            self.evictions += 1
+            evicted.append(fp)
+        return evicted
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "entries": len(self._entries),
+            "bytes": self.total_bytes,
+            "max_bytes": self.max_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

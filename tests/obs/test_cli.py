@@ -150,6 +150,21 @@ class TestDiagnose:
         doc = json.loads(capsys.readouterr().out)
         assert validate_report(doc) == []
 
+    def test_json_report_to_stdout_logs_to_stderr(self, capsys, tmp_path):
+        """The shared CLI convention (also covered for `repro.serve`
+        stats/query in tests/serve): stdout carries nothing but the
+        machine-readable report, every log line goes to stderr."""
+        from repro.obs.diagnose import validate_report
+
+        report = str(tmp_path / "r.json")
+        rc = cli.main(["diagnose", "--nodes", "1", "--sizes", "50_000",
+                       "--json", "--report", report])
+        assert rc == 0
+        captured = capsys.readouterr()
+        doc = json.loads(captured.out)  # strict parse: pure JSON stdout
+        assert validate_report(doc) == []
+        assert f"{report}: diagnosis report" in captured.err
+
 
 class TestTraceIn:
     @pytest.fixture(scope="class")
@@ -166,7 +181,7 @@ class TestTraceIn:
         rc = cli.main(["diagnose", "--trace-in", trace_path,
                        "--report", report])
         assert rc == 0
-        assert "no re-simulation" in capsys.readouterr().out
+        assert "no re-simulation" in capsys.readouterr().err
         with open(report, "r", encoding="utf-8") as fh:
             doc = json.load(fh)
         assert validate_report(doc) == []

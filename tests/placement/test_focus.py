@@ -1,0 +1,135 @@
+"""Focus: diagnosis findings feeding the what-if candidate generators."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.placement.focus import (DEFAULT_WEIGHT, Focus, focus_from_report,
+                                   load_focus, weighted_matrix)
+from repro.simmpi.topology import Topology
+
+
+def _report(findings):
+    return {"schema": 1, "findings": findings}
+
+
+def test_focus_from_report_extracts_ranks_and_classes():
+    doc = _report([
+        {"pass": "stragglers", "subject": "rank 3",
+         "detail": {"rank": 3, "lateness": 0.5}},
+        {"pass": "stragglers", "subject": "rank 7", "detail": {"rank": 7}},
+        {"pass": "stragglers", "subject": "rank 3",
+         "detail": {"rank": 3}},                       # dup collapses
+        {"pass": "congested_links", "subject": "node", "detail": {}},
+        {"pass": "congested_links", "subject": "self", "detail": {}},
+        {"pass": "algorithm_mismatch", "subject": "bcast", "detail": {}},
+    ])
+    focus = focus_from_report(doc, weight=3.0)
+    assert focus.straggler_ranks == (3, 7)
+    assert focus.congested_classes == ("node",)        # "self" dropped
+    assert focus.weight == 3.0
+    assert bool(focus)
+
+
+def test_focus_from_report_rejects_non_reports():
+    with pytest.raises(ValueError, match="findings"):
+        focus_from_report({"schema": 1, "passes": []})
+
+
+def test_empty_focus_is_falsy_and_roundtrips():
+    focus = Focus()
+    assert not focus
+    assert Focus.from_dict(focus.to_dict()) == focus
+    assert Focus.from_dict(None) == focus
+    full = Focus(straggler_ranks=(2, 1), congested_classes=("node",),
+                 weight=2.5)
+    assert Focus.from_dict(full.to_dict()) == full
+
+
+def test_cache_key_is_order_insensitive():
+    a = Focus(straggler_ranks=(1, 2), congested_classes=("node", "socket"))
+    b = Focus(straggler_ranks=(2, 1), congested_classes=("socket", "node"))
+    assert a.cache_key() == b.cache_key()
+    assert json.loads(a.cache_key())["weight"] == DEFAULT_WEIGHT
+
+
+def test_load_focus_reads_diagnose_json(tmp_path):
+    path = tmp_path / "report.json"
+    path.write_text(json.dumps(_report([
+        {"pass": "stragglers", "subject": "rank 5", "detail": {"rank": 5}},
+    ])))
+    focus = load_focus(str(path), weight=8.0)
+    assert focus.straggler_ranks == (5,)
+    assert focus.weight == 8.0
+
+    bad = tmp_path / "bad.json"
+    bad.write_text("{}")
+    with pytest.raises(ValueError, match="bad.json"):
+        load_focus(str(bad))
+
+
+def test_weighted_matrix_straggler_rows_and_cols():
+    topo = Topology([("node", 2), ("core", 2)])
+    matrix = np.ones((4, 4)) - np.eye(4)
+    focus = Focus(straggler_ranks=(1,), weight=4.0)
+    out = weighted_matrix(matrix, topo, [0, 1, 2, 3], focus)
+    assert out[1, 2] == 4.0 and out[2, 1] == 4.0       # row and column
+    assert out[2, 3] == 1.0                            # untouched
+    assert matrix[1, 2] == 1.0                         # input unmodified
+
+
+def test_weighted_matrix_congested_class_uses_recorded_binding():
+    topo = Topology([("node", 2), ("core", 2)])
+    matrix = np.ones((4, 4)) - np.eye(4)
+    focus = Focus(congested_classes=("cluster",), weight=10.0)
+    # Recorded binding splits ranks 0,1 / 2,3 across the two nodes:
+    # pairs that cross nodes share only the (implicit) cluster root.
+    out = weighted_matrix(matrix, topo, [0, 1, 2, 3], focus)
+    assert out[0, 2] == 10.0                           # crosses nodes
+    assert out[0, 1] == 1.0                            # same node
+    # Under a different recorded binding the same pair stays local.
+    out2 = weighted_matrix(matrix, topo, [0, 2, 1, 3], focus)
+    assert out2[0, 2] == 1.0                           # now same node
+    assert out2[0, 1] == 10.0
+
+
+def test_weighted_matrix_compounds_both_axes():
+    topo = Topology([("node", 2), ("core", 2)])
+    matrix = np.ones((4, 4)) - np.eye(4)
+    focus = Focus(straggler_ranks=(0,), congested_classes=("cluster",),
+                  weight=2.0)
+    out = weighted_matrix(matrix, topo, [0, 1, 2, 3], focus)
+    # rank-0 row (x2 straggler) and node-crossing (x2 congested) compound
+    assert out[0, 2] == 4.0
+    assert out[0, 1] == 2.0                            # straggler only
+    assert out[1, 3] == 2.0                            # congested only
+    assert out[2, 3] == 1.0                            # neither
+
+
+def test_search_scores_on_true_matrix_with_focus(tmp_path):
+    """A focus changes what generators see, never how candidates are
+    scored: the identity candidate's makespan is focus-invariant."""
+    from repro.experiments import fig5_collectives
+    from repro.replay import autorecord
+    from repro.replay.search import what_if_search
+
+    trace_path = str(tmp_path / "t.trace")
+    autorecord.enable_to(trace_path, meta={})
+    try:
+        fig5_collectives.run_cell("reduce", 2, sizes=(50_000,), reps=1,
+                                  seed=0)
+    finally:
+        autorecord.disable()
+    from repro.replay.schema import ReplayTrace
+
+    trace = ReplayTrace.load(trace_path)
+    focus = Focus(straggler_ranks=(0, 1), weight=16.0)
+    plain = what_if_search(trace, strategies=["identity", "treematch"])
+    focused = what_if_search(trace, strategies=["identity", "treematch"],
+                             focus=focus)
+    plain_by = {c.strategy: c for c in plain.candidates}
+    focused_by = {c.strategy: c for c in focused.candidates}
+    assert focused_by["identity"].makespan == plain_by["identity"].makespan
+    assert focused.meta["focus"] == focus.to_dict()
+    assert plain.meta["focus"] is None

@@ -1,0 +1,88 @@
+"""The committed BENCH_serve.json and its validator."""
+
+import copy
+import json
+import os
+
+import pytest
+
+from repro.serve.bench import BENCH_SERVE_SCHEMA, verify_bench
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+
+def _minimal_doc():
+    return {
+        "schema": BENCH_SERVE_SCHEMA,
+        "phases": [
+            {"name": "cold", "connections": 1, "requests": 8,
+             "qps": 5.0, "p50_ms": 15.0, "p99_ms": 40.0, "hit_rate": 0.0},
+            {"name": "hot-c4", "connections": 4, "requests": 5000,
+             "qps": 1500.0, "p50_ms": 1.5, "p99_ms": 6.0, "hit_rate": 1.0},
+        ],
+        "sustained_qps": 1500.0,
+        "min_qps": 1000.0,
+        "parity": {"ok": True, "mismatches": []},
+    }
+
+
+def test_verify_accepts_good_doc():
+    assert verify_bench(_minimal_doc())["sustained_qps"] == 1500.0
+
+
+def test_verify_rejects_wrong_schema():
+    doc = _minimal_doc()
+    doc["schema"] = 99
+    with pytest.raises(ValueError, match="schema"):
+        verify_bench(doc)
+
+
+def test_verify_rejects_slow_bench():
+    doc = _minimal_doc()
+    doc["sustained_qps"] = 500.0
+    with pytest.raises(ValueError, match="below"):
+        verify_bench(doc)
+    # explicit floor overrides the stored one
+    verify_bench(doc, min_qps=100.0)
+
+
+def test_verify_rejects_parity_failure():
+    doc = _minimal_doc()
+    doc["parity"] = {"ok": False, "mismatches": ["treematch: makespan"]}
+    with pytest.raises(ValueError, match="parity"):
+        verify_bench(doc)
+
+
+def test_verify_rejects_missing_hot_phase_and_fields():
+    doc = _minimal_doc()
+    doc["phases"] = [doc["phases"][0]]
+    with pytest.raises(ValueError, match="hot"):
+        verify_bench(doc)
+    doc = _minimal_doc()
+    del doc["phases"][1]["p99_ms"]
+    with pytest.raises(ValueError, match="p99_ms"):
+        verify_bench(doc)
+    with pytest.raises(ValueError, match="phases"):
+        verify_bench({"schema": BENCH_SERVE_SCHEMA, "phases": []})
+
+
+def test_committed_bench_document_is_valid():
+    """BENCH_serve.json in the repo root must always pass the same
+    validation CI applies: schema, >= 1000 qps sustained hot-phase
+    throughput, exact serve/direct parity, latency + hit-rate fields."""
+    path = os.path.join(REPO_ROOT, "BENCH_serve.json")
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    verify_bench(doc, min_qps=1000.0)
+    hot = [p for p in doc["phases"] if p["name"].startswith("hot")]
+    assert all(p["hit_rate"] >= 0.99 for p in hot)
+    assert doc["daemon_exit_code"] == 0
+    assert doc["host"]["cpu_count"] >= 1
+
+
+def test_verify_is_side_effect_free():
+    doc = _minimal_doc()
+    snapshot = copy.deepcopy(doc)
+    verify_bench(doc)
+    assert doc == snapshot

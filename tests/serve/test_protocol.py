@@ -1,0 +1,112 @@
+"""Unit tests for the wire protocol: framing, schema, validation."""
+
+import socket
+import struct
+
+import pytest
+
+from repro.core.errors import ServeProtocolError
+from repro.serve import protocol
+
+
+def test_frame_roundtrip_over_socketpair():
+    a, b = socket.socketpair()
+    try:
+        doc = {"type": "query", "fingerprint": "ab" * 32, "seed": 3}
+        protocol.write_frame_sock(a, doc)
+        got = protocol.read_frame_sock(b)
+        assert got["type"] == "query"
+        assert got["fingerprint"] == "ab" * 32
+        assert got["schema"] == protocol.PROTOCOL_SCHEMA
+    finally:
+        a.close()
+        b.close()
+
+
+def test_encode_stamps_schema_and_is_canonical():
+    frame = protocol.encode_frame({"type": "ping"})
+    (length,) = struct.unpack(">I", frame[:4])
+    assert length == len(frame) - 4
+    assert frame[4:] == b'{"schema":1,"type":"ping"}'
+
+
+def test_clean_eof_returns_none():
+    a, b = socket.socketpair()
+    a.close()
+    try:
+        assert protocol.read_frame_sock(b) is None
+    finally:
+        b.close()
+
+
+def test_mid_frame_eof_raises():
+    a, b = socket.socketpair()
+    try:
+        a.sendall(struct.pack(">I", 100) + b"{")  # announce 100, send 1
+        a.close()
+        with pytest.raises(ServeProtocolError, match="mid-frame"):
+            protocol.read_frame_sock(b)
+    finally:
+        b.close()
+
+
+def test_oversized_frame_rejected_both_ways():
+    with pytest.raises(ServeProtocolError, match="cap"):
+        protocol.encode_frame({"type": "ping",
+                               "pad": "x" * protocol.MAX_FRAME_BYTES})
+    a, b = socket.socketpair()
+    try:
+        a.sendall(struct.pack(">I", protocol.MAX_FRAME_BYTES + 1))
+        with pytest.raises(ServeProtocolError, match="cap"):
+            protocol.read_frame_sock(b)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_non_json_payload_rejected():
+    with pytest.raises(ServeProtocolError, match="not JSON"):
+        protocol.decode_payload(b"\xff\xfe")
+    with pytest.raises(ServeProtocolError, match="JSON object"):
+        protocol.decode_payload(b"[1,2]")
+
+
+def test_envelope_schema_and_type_checked():
+    with pytest.raises(ServeProtocolError, match="schema"):
+        protocol.validate_envelope({"schema": 99, "type": "ping"},
+                                   protocol.REQUEST_TYPES)
+    with pytest.raises(ServeProtocolError, match="unknown message type"):
+        protocol.validate_envelope({"schema": 1, "type": "frobnicate"},
+                                   protocol.REQUEST_TYPES)
+    assert protocol.validate_envelope(
+        {"schema": 1, "type": "ping"}, protocol.REQUEST_TYPES) == "ping"
+
+
+@pytest.mark.parametrize("body, message", [
+    ({"fingerprint": ""}, "fingerprint"),
+    ({"fingerprint": 7}, "fingerprint"),
+    ({"fingerprint": "ab", "strategies": []}, "strategies"),
+    ({"fingerprint": "ab", "strategies": [1]}, "strategies"),
+    ({"fingerprint": "ab", "seed": "zero"}, "seed"),
+    ({"fingerprint": "ab", "seed": True}, "seed"),
+    ({"fingerprint": "ab", "substitute": {"reduce": 3}}, "substitute"),
+    ({"fingerprint": "ab", "focus": 5}, "focus"),
+    ({"fingerprint": "ab", "focus": {"straggler_ranks": ["x"]}}, "focus"),
+])
+def test_query_validation_rejects(body, message):
+    with pytest.raises(ServeProtocolError, match=message):
+        protocol.validate_query(body)
+
+
+def test_full_request_validation():
+    ok = {"schema": 1, "type": "ingest", "path": "/tmp/x.trace"}
+    assert protocol.validate_request(ok) == "ingest"
+    with pytest.raises(ServeProtocolError, match="ingest.path"):
+        protocol.validate_request({"schema": 1, "type": "ingest"})
+    with pytest.raises(ServeProtocolError, match="shutdown.drain"):
+        protocol.validate_request(
+            {"schema": 1, "type": "shutdown", "drain": "yes"})
+    good_focus = {"schema": 1, "type": "query", "fingerprint": "ab",
+                  "focus": {"straggler_ranks": [3], "weight": 2.0,
+                            "congested_classes": ["Switch"]}}
+    assert protocol.validate_request(good_focus) == "query"

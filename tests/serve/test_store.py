@@ -1,0 +1,73 @@
+"""Unit tests for the compiled-book LRU (eviction by real bytes)."""
+
+import pytest
+
+from repro.serve.store import BookEntry, BookStore
+
+
+def _entry(fp: str, nbytes: int) -> BookEntry:
+    return BookEntry(fingerprint=fp, path=f"/t/{fp}.trace", trace=None,
+                     compiled=None, nbytes=nbytes)
+
+
+def test_eviction_is_by_bytes_coldest_first():
+    store = BookStore(max_bytes=100)
+    assert store.put(_entry("a", 40)) == []
+    assert store.put(_entry("b", 40)) == []
+    assert store.put(_entry("c", 40)) == ["a"]       # 120 > 100: drop coldest
+    assert store.fingerprints() == ["b", "c"]
+    assert store.total_bytes == 80
+    assert store.evictions == 1
+
+
+def test_get_refreshes_recency():
+    store = BookStore(max_bytes=100)
+    store.put(_entry("a", 40))
+    store.put(_entry("b", 40))
+    assert store.get("a").fingerprint == "a"          # a is now hottest
+    assert store.put(_entry("c", 40)) == ["b"]
+    assert store.fingerprints() == ["a", "c"]
+
+
+def test_newest_entry_survives_even_over_budget():
+    store = BookStore(max_bytes=10)
+    store.put(_entry("a", 5))
+    evicted = store.put(_entry("huge", 50))
+    assert evicted == ["a"]
+    assert store.fingerprints() == ["huge"]           # over budget but held
+    assert store.total_bytes == 50
+
+
+def test_put_refresh_replaces_bytes():
+    store = BookStore(max_bytes=100)
+    store.put(_entry("a", 40))
+    store.put(_entry("a", 60))                        # re-ingest, new size
+    assert len(store) == 1
+    assert store.total_bytes == 60
+
+
+def test_hit_miss_counters_and_peek():
+    store = BookStore(max_bytes=100)
+    store.put(_entry("a", 10))
+    assert store.get("missing") is None
+    assert store.get("a") is not None
+    assert store.peek("a") is not None                # no counter change
+    stats = store.stats()
+    assert stats == {"entries": 1, "bytes": 10, "max_bytes": 100,
+                     "hits": 1, "misses": 1, "evictions": 0}
+
+
+def test_budget_must_be_positive():
+    with pytest.raises(ValueError):
+        BookStore(max_bytes=0)
+
+
+def test_built_entries_account_compiled_plus_events(serve_traces):
+    from repro.replay.schema import ReplayTrace
+    from repro.serve.store import trace_events_nbytes
+
+    trace = ReplayTrace.load(serve_traces[0])
+    entry = BookEntry.build("f" * 64, serve_traces[0], trace)
+    assert entry.nbytes == (entry.compiled.nbytes()
+                            + trace_events_nbytes(trace))
+    assert entry.nbytes > len(trace.events) * 32      # events alone exceed

@@ -17,6 +17,7 @@ EXPECTED = {
     "repro-sweep": "repro.sweep",
     "repro-obs": "repro.obs",
     "repro-replay": "repro.replay",
+    "repro-serve": "repro.serve",
 }
 
 
